@@ -1,0 +1,184 @@
+//===-- bench/ExperimentUtil.h - Shared experiment drivers ------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the model-checking experiment binaries (E1-E7 in
+/// DESIGN.md): simulated-thread workload helpers, per-execution check
+/// plumbing and fixed-width table printing. Each bench binary prints the
+/// rows of the paper artifact it regenerates; see EXPERIMENTS.md for the
+/// mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_BENCH_EXPERIMENTUTIL_H
+#define COMPASS_BENCH_EXPERIMENTUTIL_H
+
+#include "lib/Container.h"
+#include "lib/HwQueue.h"
+#include "lib/Locked.h"
+#include "lib/MsQueue.h"
+#include "lib/TreiberStack.h"
+#include "sim/Explorer.h"
+#include "spec/SpecMonitor.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compass::bench {
+
+//===----------------------------------------------------------------------===//
+// Table printing
+//===----------------------------------------------------------------------===//
+
+/// Fixed-width text table; print() renders header, separator and rows.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  void print() const {
+    std::vector<size_t> Width(Header.size(), 0);
+    auto Measure = [&](const std::vector<std::string> &Row) {
+      for (size_t I = 0; I != Row.size() && I != Width.size(); ++I)
+        if (Row[I].size() > Width[I])
+          Width[I] = Row[I].size();
+    };
+    Measure(Header);
+    for (const auto &Row : Rows)
+      Measure(Row);
+
+    auto PrintRow = [&](const std::vector<std::string> &Row) {
+      std::printf("|");
+      for (size_t I = 0; I != Width.size(); ++I) {
+        const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+        std::printf(" %-*s |", static_cast<int>(Width[I]), Cell.c_str());
+      }
+      std::printf("\n");
+    };
+    PrintRow(Header);
+    std::printf("|");
+    for (size_t I = 0; I != Width.size(); ++I)
+      std::printf("%s|", std::string(Width[I] + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto &Row : Rows)
+      PrintRow(Row);
+  }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+inline std::string fmtU64(uint64_t V) { return std::to_string(V); }
+
+/// "0" rendered as "none", otherwise the count — for violation columns.
+inline std::string fmtViolations(uint64_t V) {
+  return V == 0 ? "none" : std::to_string(V);
+}
+
+//===----------------------------------------------------------------------===//
+// Simulated queue/stack workload helpers
+//===----------------------------------------------------------------------===//
+
+enum class QueueImpl { Ms, Hw, Locked };
+enum class StackImpl { Treiber, Locked };
+
+inline const char *queueImplName(QueueImpl K) {
+  switch (K) {
+  case QueueImpl::Ms:
+    return "michael-scott";
+  case QueueImpl::Hw:
+    return "herlihy-wing";
+  case QueueImpl::Locked:
+    return "locked";
+  }
+  return "?";
+}
+
+inline const char *stackImplName(StackImpl K) {
+  return K == StackImpl::Treiber ? "treiber" : "locked";
+}
+
+inline std::unique_ptr<lib::SimQueue>
+makeQueue(QueueImpl K, rmc::Machine &M, spec::SpecMonitor &Mon) {
+  switch (K) {
+  case QueueImpl::Ms:
+    return std::make_unique<lib::MsQueue>(M, Mon, "q");
+  case QueueImpl::Hw:
+    return std::make_unique<lib::HwQueue>(M, Mon, "q", 16);
+  case QueueImpl::Locked:
+    return std::make_unique<lib::LockedQueue>(M, Mon, "q", 16);
+  }
+  return nullptr;
+}
+
+inline std::unique_ptr<lib::SimStack>
+makeStack(StackImpl K, rmc::Machine &M, spec::SpecMonitor &Mon) {
+  if (K == StackImpl::Treiber)
+    return std::make_unique<lib::TreiberStack>(M, Mon, "s");
+  return std::make_unique<lib::LockedStack>(M, Mon, "s", 16);
+}
+
+inline sim::Task<void> enqueuer(sim::Env &E, lib::SimQueue &Q,
+                                std::vector<rmc::Value> Vs) {
+  for (rmc::Value V : Vs) {
+    auto T = Q.enqueue(E, V);
+    co_await T;
+  }
+}
+
+inline sim::Task<void> dequeuer(sim::Env &E, lib::SimQueue &Q, unsigned N,
+                                std::vector<rmc::Value> *Out) {
+  for (unsigned I = 0; I != N; ++I) {
+    auto T = Q.dequeue(E);
+    Out->push_back(co_await T);
+  }
+}
+
+inline sim::Task<void> pusher(sim::Env &E, lib::SimStack &S,
+                              std::vector<rmc::Value> Vs) {
+  for (rmc::Value V : Vs) {
+    auto T = S.push(E, V);
+    co_await T;
+  }
+}
+
+inline sim::Task<void> popper(sim::Env &E, lib::SimStack &S, unsigned N,
+                              std::vector<rmc::Value> *Out) {
+  for (unsigned I = 0; I != N; ++I) {
+    auto T = S.pop(E);
+    Out->push_back(co_await T);
+  }
+}
+
+/// Renders a workload like "enq[2]+enq[1] / deq[2]".
+inline std::string
+workloadName(const std::vector<std::vector<rmc::Value>> &Producers,
+             const std::vector<unsigned> &Consumers, const char *ProdName,
+             const char *ConsName) {
+  std::string Out;
+  for (size_t I = 0; I != Producers.size(); ++I) {
+    if (I)
+      Out += "+";
+    Out += std::string(ProdName) + "[" +
+           std::to_string(Producers[I].size()) + "]";
+  }
+  Out += " / ";
+  for (size_t I = 0; I != Consumers.size(); ++I) {
+    if (I)
+      Out += "+";
+    Out += std::string(ConsName) + "[" + std::to_string(Consumers[I]) + "]";
+  }
+  return Out;
+}
+
+} // namespace compass::bench
+
+#endif // COMPASS_BENCH_EXPERIMENTUTIL_H

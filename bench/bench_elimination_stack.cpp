@@ -1,0 +1,146 @@
+//===-- bench/bench_elimination_stack.cpp - Experiment E6 (Section 4.1) ----===//
+//
+// Regenerates the compositional elimination-stack verification: the ES
+// event graph is *derived* from the base Treiber stack's and exchanger's
+// graphs by the Section 4.1 simulation relation (base events carry over;
+// a matched pusher/popper exchange pair becomes an adjacent Push/Pop pair
+// — atomic elimination), and StackConsistent plus the linearizable-
+// history check are evaluated on the derived graph. No memory-level
+// reasoning about the ES implementation is involved: the composition uses
+// only the component specs' artifacts, exactly as the paper's modular
+// proof does.
+//
+// Expected shape: zero violations on every workload, with eliminations
+// actually observed under contention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExperimentUtil.h"
+#include "lib/ElimStack.h"
+#include "spec/Composition.h"
+#include "spec/Consistency.h"
+#include "spec/Linearization.h"
+
+using namespace compass;
+using namespace compass::bench;
+using namespace compass::rmc;
+using namespace compass::sim;
+using namespace compass::spec;
+
+namespace {
+
+constexpr unsigned EsObjId = 100;
+
+sim::Task<void> esPusher(sim::Env &E, lib::ElimStack &S,
+                         std::vector<Value> Vs, unsigned Rounds) {
+  for (Value V : Vs) {
+    auto T = S.push(E, V, Rounds);
+    co_await T;
+  }
+}
+
+sim::Task<void> esPopper(sim::Env &E, lib::ElimStack &S, unsigned N,
+                         unsigned Rounds) {
+  for (unsigned I = 0; I != N; ++I) {
+    auto T = S.pop(E, Rounds);
+    co_await T;
+  }
+}
+
+struct EsRow {
+  uint64_t Executions = 0;
+  uint64_t Checked = 0;
+  uint64_t Violations = 0;
+  uint64_t NoWitness = 0;
+  uint64_t Eliminations = 0;
+};
+
+EsRow runWorkload(std::vector<std::vector<Value>> Pushers,
+                  std::vector<unsigned> Poppers, unsigned Rounds,
+                  unsigned Preemptions, uint64_t MaxExecs) {
+  Explorer::Options Opts;
+  Opts.PreemptionBound = Preemptions;
+  Opts.MaxExecutions = MaxExecs;
+
+  EsRow Row;
+  std::unique_ptr<spec::SpecMonitor> Mon;
+  std::unique_ptr<lib::ElimStack> St;
+
+  auto Sum = explore(
+      Opts,
+      [&](Machine &M, Scheduler &S) {
+        Mon = std::make_unique<spec::SpecMonitor>();
+        St = std::make_unique<lib::ElimStack>(M, *Mon, "es");
+        for (auto &Vs : Pushers) {
+          sim::Env &E = S.newThread();
+          S.start(E, esPusher(E, *St, Vs, Rounds));
+        }
+        for (unsigned N : Poppers) {
+          sim::Env &E = S.newThread();
+          S.start(E, esPopper(E, *St, N, Rounds));
+        }
+      },
+      [&](Machine &, Scheduler &, Scheduler::RunResult R) {
+        if (R != Scheduler::RunResult::Done)
+          return;
+        ++Row.Checked;
+        graph::EventGraph Es = buildElimStackGraph(
+            Mon->graph(), St->baseObjId(), St->exchangerObjId(), EsObjId);
+        for (graph::EventId Id : Es.objectEvents(EsObjId))
+          if (Es.event(Id).Kind == graph::OpKind::Push &&
+              Mon->graph().isCommitted(Id) &&
+              Mon->graph().event(Id).Kind == graph::OpKind::Exchange)
+            ++Row.Eliminations;
+        if (!checkStackConsistent(Es, EsObjId).ok())
+          ++Row.Violations;
+        if (!findLinearization(Es, EsObjId, SeqSpec::Stack).Found)
+          ++Row.NoWitness;
+      });
+  Row.Executions = Sum.Executions;
+  return Row;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E6: compositional elimination-stack verification "
+              "(paper Section 4.1)\n\n");
+
+  struct Workload {
+    std::vector<std::vector<Value>> Pushers;
+    std::vector<unsigned> Poppers;
+    unsigned Rounds, Preemptions;
+    uint64_t MaxExecs;
+    bool ExpectElims;
+  };
+  const Workload Workloads[] = {
+      {{{1, 2}}, {}, 2, 0, 250'000, false},       // Sequential sanity.
+      {{{1}}, {1}, 2, 2, 250'000, false},          // Pair.
+      {{{1, 2}}, {1, 1}, 3, 2, 150'000, true},    // Contention: eliminate.
+  };
+
+  Table T({"workload", "executions", "checked", "StackConsistent",
+           "LAT_hist witness", "eliminations observed"});
+
+  bool AllOk = true;
+  for (const Workload &W : Workloads) {
+    EsRow Row = runWorkload(W.Pushers, W.Poppers, W.Rounds, W.Preemptions,
+                            W.MaxExecs);
+    AllOk &= Row.Violations == 0 && Row.NoWitness == 0 && Row.Checked > 0;
+    if (W.ExpectElims)
+      AllOk &= Row.Eliminations > 0;
+    T.addRow({workloadName(W.Pushers, W.Poppers, "push", "pop"),
+              fmtU64(Row.Executions), fmtU64(Row.Checked),
+              Row.Violations ? "VIOLATED" : "holds",
+              Row.NoWitness ? "MISSING" : "found in all",
+              fmtU64(Row.Eliminations)});
+  }
+  T.print();
+  std::printf("\nPaper claim reproduced: the composed graph (base events "
+              "+ atomically-paired\neliminations) satisfies "
+              "StackConsistent in every execution — Section 4.1's\n"
+              "modular verification, relying only on the component "
+              "specs. %s\n",
+              AllOk ? "ALL ROWS AS EXPECTED." : "DEVIATIONS FOUND!");
+  return AllOk ? 0 : 1;
+}

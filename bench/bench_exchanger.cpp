@@ -1,0 +1,150 @@
+//===-- bench/bench_exchanger.cpp - Experiment E5 (Figure 5, Section 4.2) --===//
+//
+// Regenerates the exchanger specification results: in every explored
+// execution, ExchangerConsistent holds — matched pairs carry crossed
+// values, have symmetric so edges, and are committed *atomically* (two
+// adjacent commit indices produced by the helper, Section 4.2's helping
+// pattern), while failed exchanges return ⊥ unmatched. Also runs the
+// resource-transfer client: non-atomic payload handover through the
+// exchanger is race-free, which exercises both synchronization
+// directions of the spec.
+//
+// Expected shape: zero violations, zero data races; matches and
+// all-failed outcomes both reachable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExperimentUtil.h"
+#include "clients/ResourceExchange.h"
+#include "lib/Exchanger.h"
+#include "spec/Consistency.h"
+
+using namespace compass;
+using namespace compass::bench;
+using namespace compass::rmc;
+using namespace compass::sim;
+using namespace compass::spec;
+
+namespace {
+
+sim::Task<void> exchangeOnce(sim::Env &E, lib::Exchanger &X, Value V,
+                             unsigned Attempts, Value *Out) {
+  auto T = X.exchange(E, V, Attempts);
+  *Out = co_await T;
+}
+
+struct XRow {
+  uint64_t Executions = 0;
+  uint64_t Checked = 0;
+  uint64_t Violations = 0;
+  uint64_t WithMatch = 0;
+  uint64_t Races = 0;
+};
+
+XRow runExchanger(unsigned Threads, unsigned Attempts,
+                  unsigned Preemptions) {
+  Explorer::Options Opts;
+  Opts.PreemptionBound = Preemptions;
+  Opts.MaxExecutions = 250'000;
+
+  XRow Row;
+  std::unique_ptr<spec::SpecMonitor> Mon;
+  std::unique_ptr<lib::Exchanger> X;
+  std::vector<Value> Got;
+
+  auto Sum = explore(
+      Opts,
+      [&](Machine &M, Scheduler &S) {
+        Mon = std::make_unique<spec::SpecMonitor>();
+        X = std::make_unique<lib::Exchanger>(M, *Mon, "x");
+        Got.assign(Threads, 0);
+        for (unsigned I = 0; I != Threads; ++I) {
+          sim::Env &E = S.newThread();
+          S.start(E, exchangeOnce(E, *X, 10 + I, Attempts, &Got[I]));
+        }
+      },
+      [&](Machine &, Scheduler &, Scheduler::RunResult R) {
+        if (R != Scheduler::RunResult::Done)
+          return;
+        ++Row.Checked;
+        if (!checkExchangerConsistent(Mon->graph(), X->objId()).ok())
+          ++Row.Violations;
+        for (Value V : Got)
+          if (V != graph::BottomVal) {
+            ++Row.WithMatch;
+            break;
+          }
+      });
+  Row.Executions = Sum.Executions;
+  Row.Races = Sum.Races;
+  return Row;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E5: exchanger spec (paper Figure 5, Section 4.2)\n\n");
+
+  Table T({"threads", "attempts", "executions", "checked",
+           "consistency violations", "execs with a match", "races"});
+
+  bool AllOk = true;
+  struct Cfg {
+    unsigned Threads, Attempts, Preemptions;
+  };
+  for (Cfg C : {Cfg{1, 2, ~0u}, Cfg{2, 2, ~0u}, Cfg{3, 1, 2}}) {
+    XRow Row = runExchanger(C.Threads, C.Attempts, C.Preemptions);
+    AllOk &= Row.Violations == 0 && Row.Races == 0 && Row.Checked > 0;
+    if (C.Threads >= 2)
+      AllOk &= Row.WithMatch > 0;
+    T.addRow({fmtU64(C.Threads), fmtU64(C.Attempts),
+              fmtU64(Row.Executions), fmtU64(Row.Checked),
+              fmtViolations(Row.Violations), fmtU64(Row.WithMatch),
+              fmtU64(Row.Races)});
+  }
+  T.print();
+
+  // Resource-transfer client (the derived resource-exchange spec).
+  std::printf("\nresource-transfer client: two threads exchange payload "
+              "locations and read each\nother's non-atomic payload — "
+              "race-free iff the exchanger synchronizes both ways.\n");
+  {
+    Explorer::Options Opts;
+    Opts.PreemptionBound = 3;
+    Opts.MaxExecutions = 250'000;
+    std::unique_ptr<spec::SpecMonitor> Mon;
+    std::unique_ptr<lib::Exchanger> X;
+    clients::ResourceExchangeOutcome Out;
+    uint64_t Checked = 0, Handovers = 0, Wrong = 0;
+    auto Sum = explore(
+        Opts,
+        [&](Machine &M, Scheduler &S) {
+          Mon = std::make_unique<spec::SpecMonitor>();
+          X = std::make_unique<lib::Exchanger>(M, *Mon, "x");
+          Out = clients::ResourceExchangeOutcome();
+          clients::setupResourceExchange(M, S, *X, 2, Out);
+        },
+        [&](Machine &, Scheduler &, Scheduler::RunResult R) {
+          if (R != Scheduler::RunResult::Done)
+            return;
+          ++Checked;
+          if (Out.Succeeded[0]) {
+            ++Handovers;
+            if (Out.Received[0] != 101 || Out.Received[1] != 100)
+              ++Wrong;
+          }
+        });
+    std::printf("  executions=%llu checked=%llu handovers=%llu "
+                "wrong-payloads=%llu races=%llu\n",
+                (unsigned long long)Sum.Executions,
+                (unsigned long long)Checked, (unsigned long long)Handovers,
+                (unsigned long long)Wrong, (unsigned long long)Sum.Races);
+    AllOk &= Sum.Races == 0 && Wrong == 0 && Handovers > 0;
+  }
+
+  std::printf("\nPaper claim reproduced: first RMC exchanger spec — "
+              "matched pairs commit atomically\nwith crossed values and "
+              "bidirectional synchronization. %s\n",
+              AllOk ? "ALL ROWS AS EXPECTED." : "DEVIATIONS FOUND!");
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+//===-- bench/bench_native_exchanger.cpp - Experiment P3 -------------------===//
+//
+// Exchanger behaviour on real atomics (Section 4.2's library): exchange
+// latency and match rate vs. thread count. With one thread every call
+// times out (pure overhead baseline); with partners present the match
+// rate climbs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/Exchanger.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+using namespace compass::native;
+
+namespace {
+
+constexpr uint64_t OpsPerThread = 4'000;
+
+std::unique_ptr<Exchanger<uint64_t>> GX;
+std::atomic<uint64_t> GMatches{0};
+
+void xSetup(const benchmark::State &) {
+  GX = std::make_unique<Exchanger<uint64_t>>();
+  GMatches.store(0);
+}
+void xTeardown(const benchmark::State &) { GX.reset(); }
+
+void bmExchange(benchmark::State &State) {
+  uint64_t V = (uint64_t(State.thread_index()) << 32) | 1;
+  uint64_t Matches = 0;
+  for (auto _ : State) {
+    std::optional<uint64_t> Got = GX->exchange(V++, /*Attempts=*/2,
+                                               /*Spins=*/512);
+    Matches += Got.has_value();
+    benchmark::DoNotOptimize(Got);
+  }
+  GMatches.fetch_add(Matches, std::memory_order_relaxed);
+  if (State.thread_index() == 0)
+    State.counters["match_rate"] = benchmark::Counter(
+        double(GMatches.load()) /
+        double(OpsPerThread * State.threads()));
+  State.SetItemsProcessed(State.iterations());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int Threads : {1, 2, 4}) {
+    benchmark::RegisterBenchmark("P3/exchanger/exchange", bmExchange)
+        ->Threads(Threads)
+        ->Iterations(OpsPerThread)
+        ->Setup(xSetup)
+        ->Teardown(xTeardown)
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===-- bench/bench_native_queues.cpp - Experiment P1 ----------------------===//
+//
+// The performance motivation behind the paper's subject libraries
+// (Sections 1-2): fine-grained relaxed queues vs. a coarse mutex
+// baseline, on real std::atomic implementations. Measures an
+// enqueue+dequeue pair per iteration under 1-4 threads.
+//
+// Expected shape: the lock-free queues sustain throughput as threads
+// grow, while the mutex queue serializes; absolute numbers depend on the
+// host (this machine exposes a single core, so scaling is modest and the
+// mutex baseline suffers mainly from syscall/contention overhead).
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/HwQueue.h"
+#include "native/Locked.h"
+#include "native/MsQueue.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace compass::native;
+
+namespace {
+
+constexpr uint64_t PairsPerThread = 8'000;
+
+std::unique_ptr<MsQueue<uint64_t>> GMs;
+std::unique_ptr<MutexQueue<uint64_t>> GMutex;
+std::unique_ptr<HwQueue<>> GHw;
+
+void msSetup(const benchmark::State &) {
+  GMs = std::make_unique<MsQueue<uint64_t>>();
+}
+void msTeardown(const benchmark::State &) { GMs.reset(); }
+
+void mutexSetup(const benchmark::State &) {
+  GMutex = std::make_unique<MutexQueue<uint64_t>>();
+}
+void mutexTeardown(const benchmark::State &) { GMutex.reset(); }
+
+void hwSetup(const benchmark::State &) {
+  // Lifetime capacity: every iteration of every thread enqueues once.
+  GHw = std::make_unique<HwQueue<>>(PairsPerThread * 4 + 16);
+}
+void hwTeardown(const benchmark::State &) { GHw.reset(); }
+
+void bmMsQueue(benchmark::State &State) {
+  uint64_t V = 1;
+  for (auto _ : State) {
+    GMs->enqueue(V++);
+    benchmark::DoNotOptimize(GMs->dequeue());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void bmMutexQueue(benchmark::State &State) {
+  uint64_t V = 1;
+  for (auto _ : State) {
+    GMutex->enqueue(V++);
+    benchmark::DoNotOptimize(GMutex->dequeue());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void bmHwQueue(benchmark::State &State) {
+  uint64_t V = 1;
+  for (auto _ : State) {
+    GHw->enqueue((uint64_t(State.thread_index()) << 32) | V++);
+    benchmark::DoNotOptimize(GHw->dequeue());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int Threads : {1, 2, 4}) {
+    benchmark::RegisterBenchmark("P1/ms_queue/enq_deq_pair", bmMsQueue)
+        ->Threads(Threads)
+        ->Iterations(PairsPerThread)
+        ->Setup(msSetup)
+        ->Teardown(msTeardown)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("P1/hw_queue/enq_deq_pair", bmHwQueue)
+        ->Threads(Threads)
+        ->Iterations(PairsPerThread)
+        ->Setup(hwSetup)
+        ->Teardown(hwTeardown)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("P1/mutex_queue/enq_deq_pair",
+                                 bmMutexQueue)
+        ->Threads(Threads)
+        ->Iterations(PairsPerThread)
+        ->Setup(mutexSetup)
+        ->Teardown(mutexTeardown)
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

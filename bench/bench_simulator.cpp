@@ -1,0 +1,120 @@
+//===-- bench/bench_simulator.cpp - Experiment P4 (framework costs) --------===//
+//
+// Microbenchmarks of the verification framework itself — the analog of
+// reporting proof-checking effort: raw view-machine operation throughput
+// (with the logical-view piggyback that realizes the paper's SeenX ghost
+// state), and end-to-end model-checking throughput (executions/second of
+// a two-thread Michael-Scott workload, including event-graph recording
+// and consistency checking).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lib/MsQueue.h"
+#include "sim/Explorer.h"
+#include "spec/Consistency.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace compass;
+using namespace compass::rmc;
+using namespace compass::sim;
+
+namespace {
+
+void bmMachineRelAcq(benchmark::State &State) {
+  FirstChoice C;
+  Machine M(C);
+  unsigned T0 = M.addThread(), T1 = M.addThread();
+  Loc F = M.alloc("f");
+  // One release write + one acquire read per iteration; history grows, so
+  // re-create periodically to keep the working set bounded.
+  uint64_t I = 0;
+  Machine *Mp = &M;
+  std::unique_ptr<Machine> Fresh;
+  for (auto _ : State) {
+    if (++I % 4096 == 0) {
+      Fresh = std::make_unique<Machine>(C);
+      T0 = Fresh->addThread();
+      T1 = Fresh->addThread();
+      F = Fresh->alloc("f");
+      Mp = Fresh.get();
+    }
+    Mp->store(T0, F, I, MemOrder::Release);
+    benchmark::DoNotOptimize(Mp->load(T1, F, MemOrder::Acquire));
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+  State.SetLabel("machine ops (rel store + acq load)");
+}
+
+void bmMachineCas(benchmark::State &State) {
+  FirstChoice C;
+  Machine M(C);
+  unsigned T0 = M.addThread();
+  Loc X = M.alloc("x");
+  uint64_t I = 0;
+  Machine *Mp = &M;
+  std::unique_ptr<Machine> Fresh;
+  for (auto _ : State) {
+    if (++I % 4096 == 0) {
+      Fresh = std::make_unique<Machine>(C);
+      T0 = Fresh->addThread();
+      X = Fresh->alloc("x");
+      Mp = Fresh.get();
+      I = 1;
+    }
+    benchmark::DoNotOptimize(
+        Mp->cas(T0, X, I - 1, I, MemOrder::AcqRel));
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.SetLabel("machine acq_rel CAS");
+}
+
+sim::Task<void> benchEnqueuer(sim::Env &E, lib::MsQueue &Q) {
+  auto T1 = Q.enqueue(E, 1);
+  co_await T1;
+  auto T2 = Q.enqueue(E, 2);
+  co_await T2;
+}
+
+sim::Task<void> benchDequeuer(sim::Env &E, lib::MsQueue &Q) {
+  auto T1 = Q.dequeue(E);
+  co_await T1;
+  auto T2 = Q.dequeue(E);
+  co_await T2;
+}
+
+void bmExplorerExecution(benchmark::State &State) {
+  // Random-mode executions of a 2-thread MS-queue workload, including
+  // event recording and the QueueConsistent check per execution.
+  Explorer::Options Opts;
+  Opts.ExploreMode = Explorer::Mode::Random;
+  Opts.RandomRuns = ~0ull;
+  Opts.Seed = 42;
+  Explorer Ex(Opts);
+  for (auto _ : State) {
+    if (!Ex.beginExecution())
+      break;
+    Machine M(Ex);
+    Scheduler S(M, Ex);
+    spec::SpecMonitor Mon;
+    lib::MsQueue Q(M, Mon, "q");
+    sim::Env &E0 = S.newThread();
+    S.start(E0, benchEnqueuer(E0, Q));
+    sim::Env &E1 = S.newThread();
+    S.start(E1, benchDequeuer(E1, Q));
+    auto R = S.run(100000);
+    benchmark::DoNotOptimize(
+        spec::checkQueueConsistent(Mon.graph(), Q.objId()).ok());
+    Ex.endExecution(R);
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.SetLabel("model-checked executions (2-thread MS queue)");
+}
+
+} // namespace
+
+BENCHMARK(bmMachineRelAcq)->Iterations(200'000);
+BENCHMARK(bmMachineCas)->Iterations(200'000);
+BENCHMARK(bmExplorerExecution)->Iterations(3'000);
+
+BENCHMARK_MAIN();

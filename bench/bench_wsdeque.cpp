@@ -1,0 +1,197 @@
+//===-- bench/bench_wsdeque.cpp - Experiment E8 (Section 6 future work) ----===//
+//
+// The paper's Section 6 closes with: "we would like to apply the COMPASS
+// approach to more sophisticated RMC libraries such as work-stealing
+// queues [12, 50]". This experiment does exactly that: the Chase-Lev
+// deque with the C11 orderings of Lê et al. [50] is checked, over every
+// explored execution, against
+//
+//  * WsDequeConsistent — the graph conditions (owner discipline, MATCHES,
+//    injectivity, so ⊆ lhb, the empty axioms over lhb);
+//  * the double-ended abstract-state replay (LAT_abs_hb style);
+//  * the SeqSpec::WsDeque linearization search (LAT_hist_hb style).
+//
+// Also includes native throughput rows for the std::atomic twin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExperimentUtil.h"
+#include "lib/WsDeque.h"
+#include "native/WsDeque.h"
+#include "spec/Consistency.h"
+#include "spec/Linearization.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace compass;
+using namespace compass::bench;
+using namespace compass::rmc;
+using namespace compass::sim;
+using namespace compass::spec;
+
+namespace {
+
+Task<void> owner(Env &E, lib::WsDeque &D, std::vector<Value> Vs,
+                 unsigned Takes) {
+  for (Value V : Vs) {
+    auto T = D.push(E, V);
+    co_await T;
+  }
+  for (unsigned I = 0; I != Takes; ++I) {
+    auto T = D.take(E);
+    co_await T;
+  }
+}
+
+Task<void> thief(Env &E, lib::WsDeque &D, unsigned Steals) {
+  for (unsigned I = 0; I != Steals; ++I) {
+    auto T = D.steal(E);
+    co_await T;
+  }
+}
+
+struct DqRow {
+  uint64_t Executions = 0;
+  uint64_t Checked = 0;
+  uint64_t GraphViolations = 0;
+  uint64_t AbsViolations = 0;
+  uint64_t NoWitness = 0;
+};
+
+DqRow runWorkload(std::vector<Value> Pushes, unsigned Takes,
+                  unsigned Thieves, unsigned Steals,
+                  unsigned Preemptions) {
+  Explorer::Options Opts;
+  Opts.PreemptionBound = Preemptions;
+  Opts.MaxExecutions = 300'000;
+
+  DqRow Row;
+  std::unique_ptr<spec::SpecMonitor> Mon;
+  std::unique_ptr<lib::WsDeque> D;
+
+  auto Sum = explore(
+      Opts,
+      [&](Machine &M, Scheduler &S) {
+        Mon = std::make_unique<spec::SpecMonitor>();
+        D = std::make_unique<lib::WsDeque>(M, *Mon, "d", 16);
+        Env &E0 = S.newThread();
+        S.start(E0, owner(E0, *D, Pushes, Takes));
+        for (unsigned I = 0; I != Thieves; ++I) {
+          Env &E = S.newThread();
+          S.start(E, thief(E, *D, Steals));
+        }
+      },
+      [&](Machine &, Scheduler &, Scheduler::RunResult R) {
+        if (R != Scheduler::RunResult::Done)
+          return;
+        ++Row.Checked;
+        if (!checkWsDequeConsistent(Mon->graph(), D->objId()).ok())
+          ++Row.GraphViolations;
+        if (!checkWsDequeAbsState(Mon->graph(), D->objId()).ok())
+          ++Row.AbsViolations;
+        if (!findLinearization(Mon->graph(), D->objId(),
+                               SeqSpec::WsDeque)
+                 .Found)
+          ++Row.NoWitness;
+      });
+  Row.Executions = Sum.Executions;
+  return Row;
+}
+
+void nativeThroughput() {
+  std::printf("\nnative Chase-Lev twin (std::atomic), owner + 1 thief, "
+              "40000 items:\n");
+  native::WsDeque<uint64_t> D(2048);
+  constexpr uint64_t N = 40'000;
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> Stolen{0}, Taken{0};
+
+  auto Start = std::chrono::steady_clock::now();
+  std::thread Owner([&] {
+    uint64_t Next = 1;
+    while (Next <= N) {
+      if (D.push(Next)) {
+        ++Next;
+        continue;
+      }
+      if (D.take())
+        Taken.fetch_add(1, std::memory_order_relaxed);
+    }
+    while (D.take())
+      Taken.fetch_add(1, std::memory_order_relaxed);
+    Done.store(true, std::memory_order_release);
+  });
+  std::thread Thief([&] {
+    uint64_t Out;
+    for (;;) {
+      auto R = D.steal(Out);
+      if (R == native::WsDeque<uint64_t>::StealResult::Ok) {
+        Stolen.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (Done.load(std::memory_order_acquire) &&
+          R == native::WsDeque<uint64_t>::StealResult::Empty)
+        break;
+      std::this_thread::yield();
+    }
+  });
+  Owner.join();
+  Thief.join();
+  while (D.take())
+    Taken.fetch_add(1, std::memory_order_relaxed);
+  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  uint64_t Total = Stolen.load() + Taken.load();
+  std::printf("  taken=%llu stolen=%llu conserved=%s in %lld us "
+              "(%.1f M items/s)\n",
+              (unsigned long long)Taken.load(),
+              (unsigned long long)Stolen.load(),
+              Total == N ? "yes" : "NO", (long long)Us,
+              Us ? double(N) / double(Us) : 0.0);
+}
+
+} // namespace
+
+int main() {
+  std::printf("E8: Chase-Lev work-stealing deque — the paper's Section 6 "
+              "future work,\nrealized with the Le et al. [50] C11 "
+              "orderings and verified in the framework\n\n");
+
+  struct Workload {
+    const char *Name;
+    std::vector<Value> Pushes;
+    unsigned Takes, Thieves, Steals, Preemptions;
+  };
+  const Workload Workloads[] = {
+      {"owner solo: push[3] take[3]", {1, 2, 3}, 3, 0, 0, ~0u},
+      {"last-element race: push[1] take[1] vs steal[1]", {7}, 1, 1, 1,
+       ~0u},
+      {"push[2] take[2] vs steal[2]", {1, 2}, 2, 1, 2, 2},
+      {"push[2] vs 2 thieves", {1, 2}, 0, 2, 1, 2},
+  };
+
+  Table T({"workload", "executions", "checked", "WsDequeConsistent",
+           "abs state", "LAT_hist witness"});
+  bool AllOk = true;
+  for (const Workload &W : Workloads) {
+    DqRow Row = runWorkload(W.Pushes, W.Takes, W.Thieves, W.Steals,
+                            W.Preemptions);
+    AllOk &= Row.GraphViolations == 0 && Row.AbsViolations == 0 &&
+             Row.NoWitness == 0 && Row.Checked > 0;
+    T.addRow({W.Name, fmtU64(Row.Executions), fmtU64(Row.Checked),
+              Row.GraphViolations ? "VIOLATED" : "holds",
+              Row.AbsViolations ? "VIOLATED" : "holds",
+              Row.NoWitness ? "MISSING" : "found in all"});
+  }
+  T.print();
+
+  nativeThroughput();
+
+  std::printf("\nSection 6's future-work item realized: the Chase-Lev "
+              "deque satisfies the\ngraph, abstract-state and "
+              "linearizable-history specs in every execution. %s\n",
+              AllOk ? "ALL ROWS AS EXPECTED." : "DEVIATIONS FOUND!");
+  return AllOk ? 0 : 1;
+}

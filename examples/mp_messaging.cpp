@@ -1,0 +1,115 @@
+//===-- examples/mp_messaging.cpp - The paper's Figure 1, live -----------===//
+//
+// Walks through the paper's motivating Message-Passing client:
+//
+//     enq(q, 41);          |           |  while (*acq flag == 0) {};
+//     enq(q, 42);          |  deq(q)   |  deq(q)
+//     flag :=rel 1         |           |  // returns 41 or 42, never empty
+//
+// First the verified configuration (release/acquire flag): exhaustive
+// exploration confirms the right thread never sees an empty queue. Then
+// the ablation (relaxed flag): the tool finds a counterexample execution
+// and prints its full memory trace — the kind of behaviour the Cosmo spec
+// cannot exclude and the paper's LAT_hb spec proves impossible.
+//
+// Build & run:  ./build/examples/mp_messaging
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/MpClient.h"
+#include "lib/MsQueue.h"
+#include "sim/Explorer.h"
+
+#include <cstdio>
+
+using namespace compass;
+using namespace compass::clients;
+
+namespace {
+
+struct MpRun {
+  uint64_t Executions = 0;
+  uint64_t RightEmpty = 0;
+  std::vector<std::string> CounterexampleTrace;
+  rmc::Value CexMiddle = 0;
+};
+
+MpRun runMp(rmc::MemOrder FlagStore, rmc::MemOrder FlagRead) {
+  sim::Explorer::Options Opts;
+  Opts.PreemptionBound = 2;
+  Opts.MaxExecutions = 200'000;
+  sim::Explorer Ex(Opts);
+
+  MpRun Out;
+  MpConfig Cfg;
+  Cfg.FlagStore = FlagStore;
+  Cfg.FlagRead = FlagRead;
+
+  while (Ex.beginExecution()) {
+    rmc::Machine M(Ex);
+    M.enableTrace(true);
+    sim::Scheduler S(M, Ex);
+    S.setPreemptionBound(Opts.PreemptionBound);
+    spec::SpecMonitor Mon;
+    lib::MsQueue Q(M, Mon, "q");
+    MpOutcome Res;
+    setupMpClient(M, S, Q, Cfg, Res);
+    auto R = S.run(Opts.MaxStepsPerExec);
+    ++Out.Executions;
+    if (R == sim::Scheduler::RunResult::Done &&
+        Res.Right == graph::EmptyVal) {
+      ++Out.RightEmpty;
+      if (Out.CounterexampleTrace.empty()) {
+        Out.CounterexampleTrace = M.trace();
+        Out.CexMiddle = Res.Middle;
+      }
+    }
+    Ex.endExecution(R);
+  }
+  return Out;
+}
+
+const char *valueStr(rmc::Value V) {
+  static char Buf[32];
+  if (V == graph::EmptyVal)
+    return "empty";
+  std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 1: Message Passing with queues "
+              "(Michael-Scott implementation)\n\n");
+
+  std::printf("--- verified configuration: flag written with release, "
+              "spun on with acquire ---\n");
+  MpRun Good = runMp(rmc::MemOrder::Release, rmc::MemOrder::Acquire);
+  std::printf("explored %llu executions: right thread saw empty %llu "
+              "times\n",
+              (unsigned long long)Good.Executions,
+              (unsigned long long)Good.RightEmpty);
+  std::printf("=> as the paper proves (Figure 3): the dequeue after the "
+              "flag is NEVER empty.\n\n");
+
+  std::printf("--- ablation: flag accesses relaxed (no external "
+              "synchronization) ---\n");
+  MpRun Bad = runMp(rmc::MemOrder::Relaxed, rmc::MemOrder::Relaxed);
+  std::printf("explored %llu executions: right thread saw empty %llu "
+              "times\n",
+              (unsigned long long)Bad.Executions,
+              (unsigned long long)Bad.RightEmpty);
+  if (!Bad.CounterexampleTrace.empty()) {
+    std::printf("\nfirst counterexample (middle dequeued %s); full memory "
+                "trace:\n",
+                valueStr(Bad.CexMiddle));
+    for (const std::string &Line : Bad.CounterexampleTrace)
+      std::printf("  %s\n", Line.c_str());
+    std::printf("\nthe right thread read flag=1 without acquiring the "
+                "left thread's view, so its\ndequeue searched a stale "
+                "queue — exactly the behaviour the release/acquire flag\n"
+                "and the LAT_hb spec's logical views rule out.\n");
+  }
+  return Good.RightEmpty == 0 && Bad.RightEmpty > 0 ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+//===-- clients/MpClient.cpp - The Message-Passing client (Fig. 1) ---------===//
+
+#include "clients/MpClient.h"
+
+using namespace compass;
+using namespace compass::clients;
+using namespace compass::rmc;
+using namespace compass::sim;
+
+namespace {
+
+Task<void> leftThread(Env &E, lib::SimQueue &Q, Loc Flag, MpConfig Cfg) {
+  auto T1 = Q.enqueue(E, Cfg.A);
+  co_await T1;
+  auto T2 = Q.enqueue(E, Cfg.B);
+  co_await T2;
+  co_await E.store(Flag, 1, Cfg.FlagStore);
+}
+
+Task<void> middleThread(Env &E, lib::SimQueue &Q, MpOutcome &Out) {
+  auto T3 = Q.dequeue(E);
+  Out.Middle = co_await T3;
+}
+
+Task<void> rightThread(Env &E, lib::SimQueue &Q, Loc Flag, MpConfig Cfg,
+                       MpOutcome &Out) {
+  co_await E.spinUntil(
+      Flag, [](Value V) { return V != 0; }, Cfg.FlagRead);
+  auto T4 = Q.dequeue(E);
+  Out.Right = co_await T4;
+}
+
+} // namespace
+
+void clients::setupMpClient(Machine &M, Scheduler &S, lib::SimQueue &Q,
+                            const MpConfig &Cfg, MpOutcome &Out) {
+  Loc Flag = M.alloc("mp.flag");
+  Env &E0 = S.newThread();
+  S.start(E0, leftThread(E0, Q, Flag, Cfg));
+  Env &E1 = S.newThread();
+  S.start(E1, middleThread(E1, Q, Out));
+  Env &E2 = S.newThread();
+  S.start(E2, rightThread(E2, Q, Flag, Cfg, Out));
+}

@@ -1,0 +1,50 @@
+//===-- clients/MpClient.h - The Message-Passing client (Fig. 1) -*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating client (Figure 1): three threads share a queue;
+/// the left thread enqueues 41 and 42 and raises a flag with a release
+/// write; the middle thread dequeues; the right thread acquire-spins on
+/// the flag and then dequeues. The paper proves (Figure 3) that the right
+/// thread's dequeue can never be empty: it has synchronized with both
+/// enqueues *externally* (through the flag), and at most one of them can
+/// have been consumed.
+///
+/// The access modes of the flag are configurable so experiment E1 can run
+/// the ablation: with a relaxed flag there is no external synchronization
+/// and empty dequeues on the right become observable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_CLIENTS_MPCLIENT_H
+#define COMPASS_CLIENTS_MPCLIENT_H
+
+#include "lib/Container.h"
+#include "sim/Scheduler.h"
+
+namespace compass::clients {
+
+struct MpConfig {
+  rmc::MemOrder FlagStore = rmc::MemOrder::Release;
+  rmc::MemOrder FlagRead = rmc::MemOrder::Acquire;
+  rmc::Value A = 41;
+  rmc::Value B = 42;
+};
+
+/// Filled in by the client threads; inspect after the scheduler runs.
+struct MpOutcome {
+  rmc::Value Middle = 0; ///< Middle thread's dequeue (may be EmptyVal).
+  rmc::Value Right = 0;  ///< Right thread's dequeue.
+};
+
+/// Creates the three MP threads of Figure 1 on \p Q. \p Out must outlive
+/// the run.
+void setupMpClient(rmc::Machine &M, sim::Scheduler &S, lib::SimQueue &Q,
+                   const MpConfig &Cfg, MpOutcome &Out);
+
+} // namespace compass::clients
+
+#endif // COMPASS_CLIENTS_MPCLIENT_H

@@ -1,0 +1,52 @@
+//===-- clients/Pipeline.cpp - Two-queue protocol client -------------------===//
+
+#include "clients/Pipeline.h"
+
+using namespace compass;
+using namespace compass::clients;
+using namespace compass::rmc;
+using namespace compass::sim;
+
+namespace {
+
+Task<void> producer(Env &E, lib::MsQueue &Q1, std::vector<Value> Odds) {
+  for (Value V : Odds) {
+    auto T = Q1.enqueue(E, V);
+    co_await T;
+  }
+}
+
+Task<void> relay(Env &E, lib::MsQueue &Q1, lib::MsQueue &Q2, size_t N,
+                 PipelineOutcome &Out) {
+  for (size_t I = 0; I != N; ++I) {
+    auto TakeT = Q1.dequeueBlocking(E);
+    Value V = co_await TakeT;
+    Value Even = V + 1;
+    Out.Relayed.push_back(Even);
+    auto PutT = Q2.enqueue(E, Even);
+    co_await PutT;
+  }
+}
+
+Task<void> consumer(Env &E, lib::MsQueue &Q2, size_t N,
+                    PipelineOutcome &Out) {
+  for (size_t I = 0; I != N; ++I) {
+    auto T = Q2.dequeueBlocking(E);
+    Out.Consumed.push_back(co_await T);
+  }
+}
+
+} // namespace
+
+void clients::setupPipeline(Machine &M, Scheduler &S, lib::MsQueue &Q1,
+                            lib::MsQueue &Q2, std::vector<Value> Odds,
+                            PipelineOutcome &Out) {
+  (void)M;
+  size_t N = Odds.size();
+  Env &E0 = S.newThread();
+  S.start(E0, producer(E0, Q1, std::move(Odds)));
+  Env &E1 = S.newThread();
+  S.start(E1, relay(E1, Q1, Q2, N, Out));
+  Env &E2 = S.newThread();
+  S.start(E2, consumer(E2, Q2, N, Out));
+}

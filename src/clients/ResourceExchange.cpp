@@ -1,0 +1,41 @@
+//===-- clients/ResourceExchange.cpp - Resource-exchange client ------------===//
+
+#include "clients/ResourceExchange.h"
+
+#include "graph/Event.h"
+
+using namespace compass;
+using namespace compass::clients;
+using namespace compass::rmc;
+using namespace compass::sim;
+
+namespace {
+
+Task<void> participant(Env &E, lib::Exchanger &X, unsigned Idx,
+                       unsigned Rounds, ResourceExchangeOutcome &Out) {
+  // Write the payload we are giving away, then publish its location only
+  // through the exchanger.
+  Loc Payload = E.M.alloc("resx.payload");
+  co_await E.store(Payload, 100 + E.Tid, MemOrder::NonAtomic);
+  auto T1 = X.exchange(E, Payload, Rounds);
+  Value Partner = co_await T1;
+  if (Partner == graph::BottomVal)
+    co_return;
+  Out.Succeeded[Idx] = true;
+  // Reading the partner's payload non-atomically is race-free iff the
+  // exchange synchronized us with the partner.
+  Out.Received[Idx] = co_await E.load(static_cast<Loc>(Partner),
+                                      MemOrder::NonAtomic);
+}
+
+} // namespace
+
+void clients::setupResourceExchange(Machine &M, Scheduler &S,
+                                    lib::Exchanger &X, unsigned Rounds,
+                                    ResourceExchangeOutcome &Out) {
+  (void)M;
+  for (unsigned I = 0; I != 2; ++I) {
+    Env &E = S.newThread();
+    S.start(E, participant(E, X, I, Rounds, Out));
+  }
+}

@@ -1,0 +1,41 @@
+//===-- clients/ResourceExchange.h - Resource-exchange client ---*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource-exchange client of Section 4.2: each thread owns a payload
+/// (a non-atomically written cell) and offers its *location* through the
+/// exchanger. A successful exchange transfers ownership both ways: each
+/// thread reads the partner's payload non-atomically. This is race-free
+/// exactly because the exchanger's spec synchronizes the matched pair in
+/// both directions — if the implementation dropped either synchronization
+/// edge, the machine's race detector would fire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_CLIENTS_RESOURCEEXCHANGE_H
+#define COMPASS_CLIENTS_RESOURCEEXCHANGE_H
+
+#include "lib/Exchanger.h"
+#include "sim/Scheduler.h"
+
+namespace compass::clients {
+
+struct ResourceExchangeOutcome {
+  /// Per thread: the payload read from the partner (0 when the exchange
+  /// failed).
+  rmc::Value Received[2] = {0, 0};
+  bool Succeeded[2] = {false, false};
+};
+
+/// Two threads, each writing payload 100+tid to its own cell and
+/// exchanging the cell's location; \p Rounds bounds exchange attempts.
+void setupResourceExchange(rmc::Machine &M, sim::Scheduler &S,
+                           lib::Exchanger &X, unsigned Rounds,
+                           ResourceExchangeOutcome &Out);
+
+} // namespace compass::clients
+
+#endif // COMPASS_CLIENTS_RESOURCEEXCHANGE_H

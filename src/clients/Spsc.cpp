@@ -1,0 +1,36 @@
+//===-- clients/Spsc.cpp - The SPSC client of Section 3.2 ------------------===//
+
+#include "clients/Spsc.h"
+
+using namespace compass;
+using namespace compass::clients;
+using namespace compass::rmc;
+using namespace compass::sim;
+
+namespace {
+
+Task<void> producer(Env &E, lib::MsQueue &Q, std::vector<Value> Items) {
+  for (Value V : Items) {
+    auto T = Q.enqueue(E, V);
+    co_await T;
+  }
+}
+
+Task<void> consumer(Env &E, lib::MsQueue &Q, size_t N, SpscOutcome &Out) {
+  for (size_t I = 0; I != N; ++I) {
+    auto T = Q.dequeueBlocking(E);
+    Out.Consumed.push_back(co_await T);
+  }
+}
+
+} // namespace
+
+void clients::setupSpsc(Machine &M, Scheduler &S, lib::MsQueue &Q,
+                        std::vector<Value> Items, SpscOutcome &Out) {
+  (void)M;
+  size_t N = Items.size();
+  Env &E0 = S.newThread();
+  S.start(E0, producer(E0, Q, std::move(Items)));
+  Env &E1 = S.newThread();
+  S.start(E1, consumer(E1, Q, N, Out));
+}

@@ -1,0 +1,38 @@
+//===-- clients/Spsc.h - The SPSC client of Section 3.2 ---------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-producer single-consumer client of Section 3.2: the producer
+/// enqueues the elements of an input array in order, the consumer keeps
+/// dequeueing (blocking) and records what it gets. The expected end-to-end
+/// behaviour — derivable from the LAT_hb queue spec by building an SPSC
+/// protocol, as the paper does — is FIFO: the consumer's array equals the
+/// producer's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_CLIENTS_SPSC_H
+#define COMPASS_CLIENTS_SPSC_H
+
+#include "lib/MsQueue.h"
+#include "sim/Scheduler.h"
+
+#include <vector>
+
+namespace compass::clients {
+
+struct SpscOutcome {
+  std::vector<rmc::Value> Consumed;
+};
+
+/// Creates the producer and consumer threads on \p Q. The consumer blocks
+/// for exactly Items.size() elements. \p Out must outlive the run.
+void setupSpsc(rmc::Machine &M, sim::Scheduler &S, lib::MsQueue &Q,
+               std::vector<rmc::Value> Items, SpscOutcome &Out);
+
+} // namespace compass::clients
+
+#endif // COMPASS_CLIENTS_SPSC_H

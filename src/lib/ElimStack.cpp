@@ -1,0 +1,57 @@
+//===-- lib/ElimStack.cpp - Elimination stack (Section 4) ------------------===//
+
+#include "lib/ElimStack.h"
+
+using namespace compass;
+using namespace compass::lib;
+using namespace compass::rmc;
+using namespace compass::sim;
+using compass::graph::BottomVal;
+using compass::graph::EmptyVal;
+using compass::graph::FailRaceVal;
+using compass::graph::SentinelVal;
+
+ElimStack::ElimStack(Machine &M, spec::SpecMonitor &Mon, std::string Name)
+    : Base(M, Mon, Name + ".base"), Ex(M, Mon, Name + ".ex") {}
+
+Task<bool> ElimStack::tryPush(Env &E, Value V) {
+  auto BaseTry = Base.tryPush(E, V);
+  bool BaseOk = co_await BaseTry;
+  if (BaseOk)
+    co_return true;
+  auto Xchg = Ex.exchange(E, V);
+  Value Got = co_await Xchg;
+  co_return Got == SentinelVal;
+}
+
+Task<Value> ElimStack::tryPop(Env &E) {
+  auto BaseTry = Base.tryPop(E);
+  Value V = co_await BaseTry;
+  if (V != FailRaceVal)
+    co_return V;
+  auto Xchg = Ex.exchange(E, SentinelVal);
+  Value V2 = co_await Xchg;
+  if (V2 != SentinelVal && V2 != BottomVal)
+    co_return V2;
+  co_return FailRaceVal;
+}
+
+Task<bool> ElimStack::push(Env &E, Value V, unsigned Rounds) {
+  for (unsigned I = 0; I != Rounds; ++I) {
+    auto Try = tryPush(E, V);
+    bool Ok = co_await Try;
+    if (Ok)
+      co_return true;
+  }
+  co_return false;
+}
+
+Task<Value> ElimStack::pop(Env &E, unsigned Rounds) {
+  for (unsigned I = 0; I != Rounds; ++I) {
+    auto Try = tryPop(E);
+    Value V = co_await Try;
+    if (V != FailRaceVal)
+      co_return V;
+  }
+  co_return FailRaceVal;
+}

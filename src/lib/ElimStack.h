@@ -1,0 +1,65 @@
+//===-- lib/ElimStack.h - Elimination stack (Section 4) ---------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Hendler-Shavit-Yerushalmi elimination stack, composed *exactly* as
+/// Section 4.1 writes it: each operation first tries the base stack's
+/// single-attempt operation, and on contention tries to eliminate against
+/// a concurrent dual operation through the exchanger — a push exchanges
+/// its value hoping for SENTINEL (a popper), a pop exchanges SENTINEL
+/// hoping for a value:
+///
+///   try_push(s, v) ::= if try_push'(s.base, v) then true
+///                      else exchange(s.ex, v) == SENTINEL
+///   try_pop(s)     ::= let v = try_pop'(s.base) in
+///                      if v != FAIL_RACE then v
+///                      else let v' = exchange(s.ex, SENTINEL) in
+///                           if v' ∉ {SENTINEL, ⊥} then v' else FAIL_RACE
+///
+/// The implementation adds no atomic instructions of its own; its event
+/// graph is *derived* from the base stack's and the exchanger's graphs by
+/// the simulation relation of Section 4.1 (see spec/Composition.h), and
+/// experiment E6 checks StackConsistent on the derived graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_LIB_ELIMSTACK_H
+#define COMPASS_LIB_ELIMSTACK_H
+
+#include "lib/Exchanger.h"
+#include "lib/TreiberStack.h"
+
+namespace compass::lib {
+
+class ElimStack {
+public:
+  ElimStack(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name);
+
+  /// One elimination round; true if the push took effect (via the base
+  /// stack or elimination).
+  sim::Task<bool> tryPush(sim::Env &E, rmc::Value V);
+
+  /// One elimination round; the popped value, graph::EmptyVal, or
+  /// graph::FailRaceVal when the round failed.
+  sim::Task<rmc::Value> tryPop(sim::Env &E);
+
+  /// Bounded retry wrappers for workloads; false / FailRaceVal when all
+  /// \p Rounds fail (model-checked workloads keep bounds small so the
+  /// search stays finite).
+  sim::Task<bool> push(sim::Env &E, rmc::Value V, unsigned Rounds = 4);
+  sim::Task<rmc::Value> pop(sim::Env &E, unsigned Rounds = 4);
+
+  unsigned baseObjId() const { return Base.objId(); }
+  unsigned exchangerObjId() const { return Ex.objId(); }
+
+private:
+  TreiberStack Base;
+  Exchanger Ex;
+};
+
+} // namespace compass::lib
+
+#endif // COMPASS_LIB_ELIMSTACK_H

@@ -1,0 +1,94 @@
+//===-- lib/Locked.h - Lock-based SC baseline containers --------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coarse-grained lock-based queue and stack: the sequentially consistent
+/// baselines. A test-and-set spinlock (acquire-release CAS, fair waiting
+/// via spinUntil) protects plain *non-atomic* data — which doubles as an
+/// end-to-end exercise of the machine's race detection: the lock's
+/// synchronization is exactly what makes the na accesses race-free.
+///
+/// These implementations satisfy every spec strength including the strict
+/// variants (StrictEmpty, RequireTrueEmpty): commit points are inside the
+/// critical section, so the commit order is a linearization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_LIB_LOCKED_H
+#define COMPASS_LIB_LOCKED_H
+
+#include "lib/Container.h"
+#include "spec/SpecMonitor.h"
+
+#include <string>
+
+namespace compass::lib {
+
+/// Test-and-set spinlock on the simulated machine.
+class SpinLock {
+public:
+  explicit SpinLock(rmc::Machine &M, std::string Name);
+
+  /// Acquires the lock (fair wait while held).
+  sim::Task<void> lock(sim::Env &E);
+
+  /// Releases the lock. The release store is the synchronization edge that
+  /// transfers the critical section's knowledge (and committed event ids)
+  /// to the next owner.
+  sim::Task<void> unlock(sim::Env &E);
+
+private:
+  rmc::Loc L;
+};
+
+/// Bounded circular-buffer queue under a spinlock.
+class LockedQueue final : public SimQueue {
+public:
+  LockedQueue(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name,
+              unsigned Capacity);
+
+  sim::Task<void> enqueue(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> dequeue(sim::Env &E) override;
+
+  unsigned objId() const override { return Obj; }
+
+private:
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  unsigned Capacity;
+  SpinLock Lock;
+  rmc::Loc Buf;   ///< Capacity value cells (na).
+  rmc::Loc EidBuf;///< Ghost enqueue event ids (na).
+  rmc::Loc HeadIdx; ///< na, guarded by Lock.
+  rmc::Loc Count;   ///< na, guarded by Lock.
+};
+
+/// Bounded vector stack under a spinlock.
+class LockedStack final : public SimStack {
+public:
+  LockedStack(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name,
+              unsigned Capacity);
+
+  sim::Task<void> push(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> pop(sim::Env &E) override;
+  sim::Task<bool> tryPush(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> tryPop(sim::Env &E) override;
+
+  unsigned objId() const override { return Obj; }
+
+private:
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  unsigned Capacity;
+  SpinLock Lock;
+  rmc::Loc Buf;
+  rmc::Loc EidBuf;
+  rmc::Loc Count;
+};
+
+} // namespace compass::lib
+
+#endif // COMPASS_LIB_LOCKED_H

@@ -1,0 +1,201 @@
+//===-- native/Ebr.h - Epoch-based memory reclamation -----------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-based reclamation (EBR, Fraser '04) — the "safe memory
+/// reclamation schemes for lock-free data structures" the paper's
+/// Section 6 lists as future work, provided for the native library so
+/// long-running structures can free memory online instead of deferring
+/// everything to destruction (RetireList.h).
+///
+/// The classic three-epoch scheme: readers *pin* the domain around every
+/// access to shared nodes (announcing the global epoch), writers *retire*
+/// unlinked nodes into the current epoch's bin, and the epoch advances
+/// when no pinned participant still announces an older epoch — at which
+/// point the bin from two epochs ago is unreachable and is freed.
+///
+/// A domain reclaims nodes of one type (the usual case: one domain per
+/// container). Usage:
+/// \code
+///   EbrDomain<Node> D;
+///   EbrDomain<Node>::Participant P(D);          // One per thread.
+///   {
+///     EbrDomain<Node>::Guard G(P);              // Pin.
+///     Node *N = Head.load(std::memory_order_acquire);
+///     ... dereference N safely ...
+///     D.retire(Unlinked);                       // After unlinking.
+///   }                                           // Unpin.
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_NATIVE_EBR_H
+#define COMPASS_NATIVE_EBR_H
+
+#include "native/RetireList.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace compass::native {
+
+/// An epoch-based reclamation domain for nodes of type \p NodeT (which
+/// must derive from RetireHook).
+template <typename NodeT> class EbrDomain {
+  static_assert(std::is_base_of_v<RetireHook, NodeT>,
+                "retired nodes must embed a RetireHook");
+
+public:
+  static constexpr unsigned MaxParticipants = 64;
+
+  EbrDomain() = default;
+  EbrDomain(const EbrDomain &) = delete;
+  EbrDomain &operator=(const EbrDomain &) = delete;
+
+  ~EbrDomain() {
+    for (Bin &B : Bins)
+      freeBin(B);
+  }
+
+  /// A registered thread; the slot is released on destruction.
+  class Participant {
+  public:
+    explicit Participant(EbrDomain &D) : D(D) {
+      for (unsigned I = 0; I != MaxParticipants; ++I) {
+        bool Expected = false;
+        if (D.Slots[I].Used.compare_exchange_strong(
+                Expected, true, std::memory_order_acq_rel)) {
+          Index = I;
+          return;
+        }
+      }
+      assert(false && "EbrDomain participant slots exhausted");
+    }
+
+    ~Participant() {
+      D.Slots[Index].Active.store(false, std::memory_order_release);
+      D.Slots[Index].Used.store(false, std::memory_order_release);
+    }
+
+    Participant(const Participant &) = delete;
+    Participant &operator=(const Participant &) = delete;
+
+  private:
+    friend class EbrDomain;
+    EbrDomain &D;
+    unsigned Index = 0;
+  };
+
+  /// RAII pin: while alive, nodes this thread may observe are not freed.
+  class Guard {
+  public:
+    explicit Guard(Participant &P) : D(P.D), Index(P.Index) {
+      uint64_t E = D.GlobalEpoch.load(std::memory_order_acquire);
+      D.Slots[Index].Epoch.store(E, std::memory_order_relaxed);
+      D.Slots[Index].Active.store(true, std::memory_order_relaxed);
+      // The announcement must be ordered before any shared read; pairs
+      // with the fence in tryAdvance.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+    ~Guard() {
+      D.Slots[Index].Active.store(false, std::memory_order_release);
+    }
+
+    Guard(const Guard &) = delete;
+    Guard &operator=(const Guard &) = delete;
+
+  private:
+    EbrDomain &D;
+    unsigned Index;
+  };
+
+  /// Retires \p N (already unlinked; caller pinned) into the current
+  /// epoch's bin and opportunistically tries to advance the epoch.
+  void retire(NodeT *N) {
+    RetireHook *H = N;
+    uint64_t E = GlobalEpoch.load(std::memory_order_acquire);
+    Bin &B = Bins[E % 3];
+    RetireHook *Old = B.Head.load(std::memory_order_relaxed);
+    do {
+      H->NextRetired = Old;
+    } while (!B.Head.compare_exchange_weak(Old, H,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+    Pending.fetch_add(1, std::memory_order_relaxed);
+    tryAdvance();
+  }
+
+  /// Number of epoch advances so far (diagnostics).
+  uint64_t epoch() const {
+    return GlobalEpoch.load(std::memory_order_relaxed);
+  }
+
+  /// Nodes currently awaiting reclamation (diagnostics; approximate).
+  uint64_t pendingApprox() const {
+    return Pending.load(std::memory_order_relaxed);
+  }
+
+  /// Total nodes actually freed so far (diagnostics; approximate).
+  uint64_t freedApprox() const {
+    return Freed.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Slot {
+    std::atomic<bool> Used{false};
+    std::atomic<bool> Active{false};
+    std::atomic<uint64_t> Epoch{0};
+    char Pad[40]; ///< Spread slots across cache lines (approximately).
+  };
+
+  struct Bin {
+    std::atomic<RetireHook *> Head{nullptr};
+  };
+
+  void tryAdvance() {
+    uint64_t E = GlobalEpoch.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (const Slot &S : Slots) {
+      if (!S.Used.load(std::memory_order_acquire))
+        continue;
+      if (S.Active.load(std::memory_order_acquire) &&
+          S.Epoch.load(std::memory_order_acquire) != E)
+        return; // A reader is still pinned in an older epoch.
+    }
+    if (!GlobalEpoch.compare_exchange_strong(E, E + 1,
+                                             std::memory_order_acq_rel))
+      return; // Someone else advanced; they will free their bin.
+    // Epoch E+1 begun: free the bin E+1 will retire into — its contents
+    // are from epoch E-2, two full grace periods old, so even a retire
+    // performed with a stale epoch announcement (by a writer pinned at E)
+    // cannot still be referenced.
+    freeBin(Bins[(E + 1) % 3]);
+  }
+
+  void freeBin(Bin &B) {
+    RetireHook *H = B.Head.exchange(nullptr, std::memory_order_acquire);
+    while (H) {
+      RetireHook *Next = H->NextRetired;
+      delete static_cast<NodeT *>(H);
+      Pending.fetch_sub(1, std::memory_order_relaxed);
+      Freed.fetch_add(1, std::memory_order_relaxed);
+      H = Next;
+    }
+  }
+
+  std::atomic<uint64_t> GlobalEpoch{0};
+  std::atomic<uint64_t> Pending{0};
+  std::atomic<uint64_t> Freed{0};
+  Slot Slots[MaxParticipants];
+  Bin Bins[3];
+};
+
+} // namespace compass::native
+
+#endif // COMPASS_NATIVE_EBR_H

@@ -1,0 +1,96 @@
+//===-- native/ElimStack.h - Elimination stack on std::atomic ---*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Hendler-Shavit-Yerushalmi elimination stack on real C++ atomics,
+/// composed from the native Treiber stack and exchanger exactly as
+/// Section 4.1 prescribes: operations first try the base stack and on
+/// contention try to eliminate against a dual operation through the
+/// exchanger. No additional atomics are introduced by the composition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_NATIVE_ELIMSTACK_H
+#define COMPASS_NATIVE_ELIMSTACK_H
+
+#include "native/Exchanger.h"
+#include "native/TreiberStack.h"
+
+#include <optional>
+#include <utility>
+
+namespace compass::native {
+
+/// Lock-free LIFO stack with elimination backoff. T must be movable,
+/// copyable and default-constructible.
+template <typename T> class ElimStack {
+  /// What travels through the exchanger: a value from a pusher, or the
+  /// "SENTINEL" of a popper.
+  struct XItem {
+    bool IsPop = false;
+    T Val{};
+  };
+
+public:
+  ElimStack() = default;
+  ElimStack(const ElimStack &) = delete;
+  ElimStack &operator=(const ElimStack &) = delete;
+
+  /// One round: base stack, then elimination. True if the push took
+  /// effect.
+  bool tryPush(T V) {
+    if (Base.tryPush(V))
+      return true;
+    std::optional<XItem> Got = Ex.exchange(XItem{false, std::move(V)});
+    return Got && Got->IsPop;
+  }
+
+  /// Pushes \p V, retrying rounds until it lands.
+  void push(T V) {
+    while (!tryPush(V)) {
+    }
+  }
+
+  enum class TryPopResult { Ok, Empty, Contended };
+
+  /// One round: base stack, then elimination.
+  TryPopResult tryPop(T &Out) {
+    typename TreiberStack<T>::TryPopResult R = Base.tryPop(Out);
+    if (R == TreiberStack<T>::TryPopResult::Ok)
+      return TryPopResult::Ok;
+    if (R == TreiberStack<T>::TryPopResult::Empty)
+      return TryPopResult::Empty;
+    std::optional<XItem> Got = Ex.exchange(XItem{true, T{}});
+    if (Got && !Got->IsPop) {
+      Out = std::move(Got->Val);
+      return TryPopResult::Ok;
+    }
+    return TryPopResult::Contended;
+  }
+
+  /// Pops, retrying contended rounds; nullopt when the stack appears
+  /// empty.
+  std::optional<T> pop() {
+    for (;;) {
+      T Out{};
+      TryPopResult R = tryPop(Out);
+      if (R == TryPopResult::Ok)
+        return Out;
+      if (R == TryPopResult::Empty)
+        return std::nullopt;
+    }
+  }
+
+  bool empty() const { return Base.empty(); }
+
+private:
+  TreiberStack<T> Base;
+  Exchanger<XItem> Ex;
+};
+
+} // namespace compass::native
+
+#endif // COMPASS_NATIVE_ELIMSTACK_H

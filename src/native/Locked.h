@@ -1,0 +1,81 @@
+//===-- native/Locked.h - Mutex-based baseline containers -------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coarse-grained mutex-protected queue and stack: the sequentially
+/// consistent baselines the performance experiments (P1/P2) compare the
+/// relaxed structures against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_NATIVE_LOCKED_H
+#define COMPASS_NATIVE_LOCKED_H
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace compass::native {
+
+/// MPMC FIFO queue under a single mutex.
+template <typename T> class MutexQueue {
+public:
+  void enqueue(T V) {
+    std::lock_guard<std::mutex> Guard(M);
+    Items.push_back(std::move(V));
+  }
+
+  std::optional<T> dequeue() {
+    std::lock_guard<std::mutex> Guard(M);
+    if (Items.empty())
+      return std::nullopt;
+    T Out = std::move(Items.front());
+    Items.pop_front();
+    return Out;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> Guard(M);
+    return Items.empty();
+  }
+
+private:
+  mutable std::mutex M;
+  std::deque<T> Items;
+};
+
+/// LIFO stack under a single mutex.
+template <typename T> class MutexStack {
+public:
+  void push(T V) {
+    std::lock_guard<std::mutex> Guard(M);
+    Items.push_back(std::move(V));
+  }
+
+  std::optional<T> pop() {
+    std::lock_guard<std::mutex> Guard(M);
+    if (Items.empty())
+      return std::nullopt;
+    T Out = std::move(Items.back());
+    Items.pop_back();
+    return Out;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> Guard(M);
+    return Items.empty();
+  }
+
+private:
+  mutable std::mutex M;
+  std::vector<T> Items;
+};
+
+} // namespace compass::native
+
+#endif // COMPASS_NATIVE_LOCKED_H

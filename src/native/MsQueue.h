@@ -1,0 +1,113 @@
+//===-- native/MsQueue.h - Michael-Scott queue on std::atomic ---*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Michael-Scott non-blocking MPMC queue [Michael & Scott, PODC'96]
+/// on real C++ atomics, with exactly the release/acquire discipline the
+/// simulated twin (lib/MsQueue.h) model-checks: enqueue publishes with a
+/// release CAS on next, dequeue synchronizes with an acquire load and
+/// advances head with acq_rel. Dequeued nodes are retired, not freed
+/// (RetireList.h), so the structure is ABA- and UAF-free without tagged
+/// pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_NATIVE_MSQUEUE_H
+#define COMPASS_NATIVE_MSQUEUE_H
+
+#include "native/RetireList.h"
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace compass::native {
+
+/// Lock-free MPMC FIFO queue. T must be movable.
+template <typename T> class MsQueue {
+  struct Node : RetireHook {
+    std::atomic<Node *> Next{nullptr};
+    T Value{};
+
+    Node() = default;
+    explicit Node(T V) : Value(std::move(V)) {}
+  };
+
+public:
+  MsQueue() {
+    Node *Sentinel = new Node();
+    Head.store(Sentinel, std::memory_order_relaxed);
+    Tail.store(Sentinel, std::memory_order_relaxed);
+  }
+
+  MsQueue(const MsQueue &) = delete;
+  MsQueue &operator=(const MsQueue &) = delete;
+
+  ~MsQueue() {
+    // Free the remaining list (sentinel included), then the retired nodes.
+    Node *N = Head.load(std::memory_order_relaxed);
+    while (N) {
+      Node *Next = N->Next.load(std::memory_order_relaxed);
+      delete N;
+      N = Next;
+    }
+  }
+
+  /// Enqueues \p V at the tail. Lock-free.
+  void enqueue(T V) {
+    Node *N = new Node(std::move(V));
+    for (;;) {
+      Node *Last = Tail.load(std::memory_order_acquire);
+      Node *Next = Last->Next.load(std::memory_order_acquire);
+      if (Next) {
+        // Tail lags; help advance it.
+        Tail.compare_exchange_weak(Last, Next, std::memory_order_release,
+                                   std::memory_order_relaxed);
+        continue;
+      }
+      Node *Expected = nullptr;
+      if (Last->Next.compare_exchange_weak(Expected, N,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+        Tail.compare_exchange_strong(Last, N, std::memory_order_release,
+                                     std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  /// Dequeues the head element, or nullopt if the queue appears empty.
+  std::optional<T> dequeue() {
+    for (;;) {
+      Node *First = Head.load(std::memory_order_acquire);
+      Node *Next = First->Next.load(std::memory_order_acquire);
+      if (!Next)
+        return std::nullopt;
+      if (Head.compare_exchange_weak(First, Next,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+        T Out = std::move(Next->Value);
+        Retired.retire(First);
+        return Out;
+      }
+    }
+  }
+
+  /// True if the queue appears empty to this thread.
+  bool empty() const {
+    Node *First = Head.load(std::memory_order_acquire);
+    return First->Next.load(std::memory_order_acquire) == nullptr;
+  }
+
+private:
+  std::atomic<Node *> Head;
+  std::atomic<Node *> Tail;
+  RetireList<Node> Retired;
+};
+
+} // namespace compass::native
+
+#endif // COMPASS_NATIVE_MSQUEUE_H

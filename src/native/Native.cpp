@@ -1,0 +1,13 @@
+//===-- native/Native.cpp - Anchor TU for the native library ---------------===//
+//
+// The native containers are header-only templates (see the headers in this
+// directory); this translation unit anchors the static library and hosts
+// non-template helpers.
+//
+//===----------------------------------------------------------------------===//
+
+namespace compass::native {
+
+// Currently all native components are header-only.
+
+} // namespace compass::native

@@ -1,0 +1,82 @@
+//===-- native/RetireList.h - Deferred node reclamation ---------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free intrusive retire list: nodes unlinked from a concurrent
+/// structure are pushed here instead of being freed, and are destroyed
+/// when the owning container is destroyed (or when the single-owner
+/// `drain()` is explicitly called at a quiescent point). This gives the
+/// containers two properties at once:
+///
+///  * no ABA: node addresses are never reused while any operation may
+///    still hold them;
+///  * no use-after-free: readers may dereference unlinked nodes safely.
+///
+/// The cost is memory proportional to the number of operations between
+/// quiescent points — the classic trade-off that hazard pointers / epochs
+/// (the paper's future work, Section 6) refine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_NATIVE_RETIRELIST_H
+#define COMPASS_NATIVE_RETIRELIST_H
+
+#include <atomic>
+
+namespace compass::native {
+
+/// Intrusive hook; nodes that can be retired embed one.
+struct RetireHook {
+  RetireHook *NextRetired = nullptr;
+};
+
+/// Lock-free LIFO of retired nodes. NodeT must derive from RetireHook.
+template <typename NodeT> class RetireList {
+public:
+  RetireList() = default;
+  RetireList(const RetireList &) = delete;
+  RetireList &operator=(const RetireList &) = delete;
+
+  ~RetireList() { drain(); }
+
+  /// Retires \p N; thread-safe, lock-free.
+  void retire(NodeT *N) {
+    RetireHook *H = N;
+    RetireHook *Old = Head.load(std::memory_order_relaxed);
+    do {
+      H->NextRetired = Old;
+    } while (!Head.compare_exchange_weak(Old, H, std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+
+  /// Frees all retired nodes. NOT thread-safe: call only when no
+  /// concurrent operation can still hold a retired pointer (destructor,
+  /// or an application-level quiescent point).
+  void drain() {
+    RetireHook *H = Head.exchange(nullptr, std::memory_order_acquire);
+    while (H) {
+      RetireHook *Next = H->NextRetired;
+      delete static_cast<NodeT *>(H);
+      H = Next;
+    }
+  }
+
+  /// Number of retired nodes (O(n); diagnostics only).
+  size_t size() const {
+    size_t N = 0;
+    for (RetireHook *H = Head.load(std::memory_order_acquire); H;
+         H = H->NextRetired)
+      ++N;
+    return N;
+  }
+
+private:
+  std::atomic<RetireHook *> Head{nullptr};
+};
+
+} // namespace compass::native
+
+#endif // COMPASS_NATIVE_RETIRELIST_H

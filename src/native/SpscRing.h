@@ -1,0 +1,77 @@
+//===-- native/SpscRing.h - Lock-free SPSC ring on std::atomic --*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lamport-style single-producer single-consumer ring buffer on real
+/// atomics, mirroring the verified twin (lib/SpscRing.h): no RMWs, only
+/// release/acquire index handoff; slots are plain storage whose ownership
+/// alternates between the two threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_NATIVE_SPSCRING_H
+#define COMPASS_NATIVE_SPSCRING_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace compass::native {
+
+/// Wait-free SPSC FIFO ring. Exactly one producer thread may call
+/// enqueue-side methods and exactly one consumer thread dequeue-side
+/// methods.
+template <typename T> class SpscRing {
+public:
+  explicit SpscRing(size_t Capacity) : Buf(Capacity) {
+    assert(Capacity > 0);
+  }
+
+  SpscRing(const SpscRing &) = delete;
+  SpscRing &operator=(const SpscRing &) = delete;
+
+  /// Producer: false when full.
+  bool tryEnqueue(T V) {
+    uint64_t Tl = Tail.load(std::memory_order_relaxed);
+    uint64_t H = Head.load(std::memory_order_acquire);
+    if (Tl - H == Buf.size())
+      return false;
+    Buf[Tl % Buf.size()] = std::move(V);
+    Tail.store(Tl + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: nullopt when empty.
+  std::optional<T> dequeue() {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    uint64_t Tl = Tail.load(std::memory_order_acquire);
+    if (H == Tl)
+      return std::nullopt;
+    T Out = std::move(Buf[H % Buf.size()]);
+    Head.store(H + 1, std::memory_order_release);
+    return Out;
+  }
+
+  /// Elements currently buffered, as seen by the caller.
+  uint64_t sizeApprox() const {
+    return Tail.load(std::memory_order_acquire) -
+           Head.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return Buf.size(); }
+
+private:
+  std::atomic<uint64_t> Head{0};
+  std::atomic<uint64_t> Tail{0};
+  std::vector<T> Buf;
+};
+
+} // namespace compass::native
+
+#endif // COMPASS_NATIVE_SPSCRING_H

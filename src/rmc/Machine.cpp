@@ -1,0 +1,313 @@
+//===-- rmc/Machine.cpp - Operational RC11 view machine -------------------===//
+
+#include "rmc/Machine.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace compass;
+using namespace compass::rmc;
+
+unsigned Machine::addThread() {
+  Threads.emplace_back();
+  return static_cast<unsigned>(Threads.size()) - 1;
+}
+
+Machine::ThreadState &Machine::thread(unsigned T) {
+  if (T >= Threads.size())
+    fatalError("unknown thread id");
+  return Threads[T];
+}
+
+const Machine::ThreadState &Machine::thread(unsigned T) const {
+  if (T >= Threads.size())
+    fatalError("unknown thread id");
+  return Threads[T];
+}
+
+Knowledge &Machine::threadCur(unsigned T) { return thread(T).Cur; }
+
+const Knowledge &Machine::threadCur(unsigned T) const {
+  return thread(T).Cur;
+}
+
+Knowledge &Machine::threadAcq(unsigned T) { return thread(T).Acq; }
+
+const Knowledge &Machine::lastReadKnowledge(unsigned T) const {
+  const ThreadState &TS = thread(T);
+  if (!TS.HasRead)
+    fatalError("lastReadKnowledge: thread has not performed a read");
+  return Mem.cell(TS.LastReadLoc).History[TS.LastReadTs].Know;
+}
+
+Timestamp Machine::lastReadTs(unsigned T) const {
+  const ThreadState &TS = thread(T);
+  if (!TS.HasRead)
+    fatalError("lastReadTs: thread has not performed a read");
+  return TS.LastReadTs;
+}
+
+void Machine::reportRace(unsigned T, Loc L, const char *What) {
+  if (Raced)
+    return;
+  Raced = true;
+  RaceMsg = "data race: thread " + std::to_string(T) + " " + What +
+            " on '" + Mem.cell(L).Name + "' without having observed all " +
+            "writes to it";
+}
+
+void Machine::traceOp(unsigned T, const std::string &Line) {
+  if (Tracing)
+    Trace.push_back("T" + std::to_string(T) + ": " + Line);
+}
+
+void Machine::applyRead(ThreadState &TS, Loc L, const Message &M,
+                        MemOrder O) {
+  // Every atomic read raises the per-location component of cur and folds
+  // the message into acq; acquire reads fold it into cur as well
+  // (ACQ-READ, Section 2.3).
+  TS.Cur.Phys.raise(L, M.Ts);
+  TS.Acq.Phys.raise(L, M.Ts);
+  TS.Acq.joinWith(M.Know);
+  if (isAcquire(O))
+    TS.Cur.joinWith(M.Know);
+  TS.HasRead = true;
+  TS.LastReadLoc = L;
+  TS.LastReadTs = M.Ts;
+}
+
+Knowledge Machine::relView(const ThreadState &TS, Loc L) const {
+  Knowledge K = TS.RelFence;
+  auto It = TS.RelPerLoc.find(L);
+  if (It != TS.RelPerLoc.end())
+    K.joinWith(It->second);
+  return K;
+}
+
+Timestamp Machine::applyWrite(unsigned T, ThreadState &TS, Loc L, Value V,
+                              Knowledge MsgK, bool Release) {
+  const Message &M = Mem.append(L, V, std::move(MsgK), T);
+  // The message's view includes the write itself (REL-WRITE's
+  // `h[t ↦ (v, V')]` with `t ∈ V'`).
+  Mem.cell(L).History.back().Know.Phys.raise(L, M.Ts);
+  Timestamp Ts = M.Ts;
+  TS.Cur.Phys.raise(L, Ts);
+  TS.Acq.Phys.raise(L, Ts);
+  if (Release)
+    TS.RelPerLoc[L] = Mem.cell(L).History.back().Know;
+  return Ts;
+}
+
+Value Machine::load(unsigned T, Loc L, MemOrder O) {
+  ++Counters.Loads;
+  ThreadState &TS = thread(T);
+  const Cell &C = Mem.cell(L);
+
+  if (O == MemOrder::NonAtomic) {
+    if (TS.Cur.Phys.get(L) != C.latestTs())
+      reportRace(T, L, "non-atomic read");
+    traceOp(T, "ld.na " + C.Name + " -> " +
+                   std::to_string(C.latest().Val));
+    return C.latest().Val;
+  }
+
+  if (O == MemOrder::SeqCst) {
+    TS.Cur.Phys.joinWith(ScPhys);
+    TS.Acq.Phys.joinWith(ScPhys);
+  }
+
+  Timestamp From = TS.Cur.Phys.get(L);
+  unsigned N = Mem.countReadableFrom(L, From);
+  unsigned Pick = N == 1 ? 0 : Choices.choose(N, "load");
+  // Choice 0 reads the newest message; choice N-1 the oldest readable.
+  const Message &M = C.History[C.latestTs() - Pick];
+  applyRead(TS, L, M, O);
+  if (O == MemOrder::SeqCst)
+    ScPhys.joinWith(TS.Cur.Phys);
+  traceOp(T, std::string("ld.") + memOrderName(O) + " " + C.Name + " -> " +
+                 std::to_string(M.Val) + " @t" + std::to_string(M.Ts));
+  return M.Val;
+}
+
+Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
+                         const ValuePred &Pred) {
+  ++Counters.Loads;
+  ThreadState &TS = thread(T);
+  const Cell &C = Mem.cell(L);
+  assert(O != MemOrder::NonAtomic && "conditional loads must be atomic");
+
+  if (O == MemOrder::SeqCst) {
+    TS.Cur.Phys.joinWith(ScPhys);
+    TS.Acq.Phys.joinWith(ScPhys);
+  }
+
+  Timestamp From = TS.Cur.Phys.get(L);
+  // Collect readable messages satisfying the predicate, newest first.
+  std::vector<Timestamp> Candidates;
+  for (Timestamp Ts = C.latestTs() + 1; Ts-- > From;)
+    if (Pred(C.History[Ts].Val))
+      Candidates.push_back(Ts);
+  if (Candidates.empty())
+    fatalError("loadWhere: no readable message satisfies the predicate");
+  unsigned Pick = Candidates.size() == 1
+                      ? 0
+                      : Choices.choose(
+                            static_cast<unsigned>(Candidates.size()),
+                            "load-where");
+  const Message &M = C.History[Candidates[Pick]];
+  applyRead(TS, L, M, O);
+  if (O == MemOrder::SeqCst)
+    ScPhys.joinWith(TS.Cur.Phys);
+  traceOp(T, std::string("ld-wait.") + memOrderName(O) + " " + C.Name +
+                 " -> " + std::to_string(M.Val) + " @t" +
+                 std::to_string(M.Ts));
+  return M.Val;
+}
+
+bool Machine::anyReadableSatisfies(unsigned T, Loc L,
+                                   const ValuePred &Pred) const {
+  const ThreadState &TS = thread(T);
+  const Cell &C = Mem.cell(L);
+  for (Timestamp Ts = TS.Cur.Phys.get(L); Ts <= C.latestTs(); ++Ts)
+    if (Pred(C.History[Ts].Val))
+      return true;
+  return false;
+}
+
+void Machine::store(unsigned T, Loc L, Value V, MemOrder O) {
+  ++Counters.Stores;
+  ThreadState &TS = thread(T);
+  const Cell &C = Mem.cell(L);
+
+  if (O == MemOrder::NonAtomic) {
+    if (TS.Cur.Phys.get(L) != C.latestTs())
+      reportRace(T, L, "non-atomic write");
+    // Non-atomic messages transfer no knowledge.
+    applyWrite(T, TS, L, V, Knowledge(), /*Release=*/false);
+    traceOp(T, "st.na " + C.Name + " := " + std::to_string(V));
+    return;
+  }
+
+  bool Release = isRelease(O);
+  Knowledge MsgK = Release ? TS.Cur : relView(TS, L);
+  applyWrite(T, TS, L, V, std::move(MsgK), Release);
+  if (O == MemOrder::SeqCst)
+    ScPhys.joinWith(TS.Cur.Phys);
+  traceOp(T, std::string("st.") + memOrderName(O) + " " + C.Name + " := " +
+                 std::to_string(V));
+}
+
+Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
+                                Value Desired, MemOrder SuccO,
+                                MemOrder FailO) {
+  ++Counters.Rmws;
+  ThreadState &TS = thread(T);
+  const Cell &C = Mem.cell(L);
+  assert(SuccO != MemOrder::NonAtomic && FailO != MemOrder::NonAtomic &&
+         "CAS must be atomic");
+
+  if (SuccO == MemOrder::SeqCst || FailO == MemOrder::SeqCst) {
+    TS.Cur.Phys.joinWith(ScPhys);
+    TS.Acq.Phys.joinWith(ScPhys);
+  }
+
+  Timestamp From = TS.Cur.Phys.get(L);
+  Timestamp Latest = C.latestTs();
+
+  // Alternative 0 (when available): succeed against the mo-maximal message.
+  // Remaining alternatives: fail by reading any readable message with a
+  // different value, newest first. A readable non-maximal message carrying
+  // the expected value is not a legal read for a strong CAS (atomicity
+  // would be violated), so it is simply not offered.
+  bool CanSucceed = C.latest().Val == Expected;
+  std::vector<Timestamp> FailTs;
+  for (Timestamp Ts = Latest + 1; Ts-- > From;)
+    if (C.History[Ts].Val != Expected)
+      FailTs.push_back(Ts);
+
+  unsigned NumAlternatives =
+      (CanSucceed ? 1 : 0) + static_cast<unsigned>(FailTs.size());
+  if (NumAlternatives == 0)
+    fatalError("CAS has no legal read; history corrupt");
+  unsigned Pick = NumAlternatives == 1
+                      ? 0
+                      : Choices.choose(NumAlternatives, "cas");
+
+  if (CanSucceed && Pick == 0) {
+    const Message &R = C.latest();
+    applyRead(TS, L, R, SuccO);
+    // Release-sequence behaviour: the new message carries the read
+    // message's view, so a chain of RMWs forwards earlier releases.
+    Knowledge MsgK = R.Know;
+    MsgK.joinWith(isRelease(SuccO) ? TS.Cur : relView(TS, L));
+    applyWrite(T, TS, L, Desired, std::move(MsgK), isRelease(SuccO));
+    if (SuccO == MemOrder::SeqCst)
+      ScPhys.joinWith(TS.Cur.Phys);
+    traceOp(T, std::string("cas.") + memOrderName(SuccO) + " " + C.Name +
+                   " " + std::to_string(Expected) + " -> " +
+                   std::to_string(Desired) + " ok");
+    return {true, Expected};
+  }
+
+  const Message &R = C.History[FailTs[Pick - (CanSucceed ? 1 : 0)]];
+  applyRead(TS, L, R, FailO);
+  if (FailO == MemOrder::SeqCst)
+    ScPhys.joinWith(TS.Cur.Phys);
+  traceOp(T, std::string("cas.") + memOrderName(FailO) + " " + C.Name +
+                 " exp " + std::to_string(Expected) + " saw " +
+                 std::to_string(R.Val) + " fail");
+  return {false, R.Val};
+}
+
+Value Machine::fetchAdd(unsigned T, Loc L, Value Add, MemOrder O) {
+  ++Counters.Rmws;
+  ThreadState &TS = thread(T);
+  const Cell &C = Mem.cell(L);
+  assert(O != MemOrder::NonAtomic && "RMW must be atomic");
+
+  if (O == MemOrder::SeqCst) {
+    TS.Cur.Phys.joinWith(ScPhys);
+    TS.Acq.Phys.joinWith(ScPhys);
+  }
+
+  // An RMW reads the mo-maximal message (DESIGN.md Section 4).
+  const Message &R = C.latest();
+  Value Old = R.Val;
+  applyRead(TS, L, R, O);
+  Knowledge MsgK = R.Know;
+  MsgK.joinWith(isRelease(O) ? TS.Cur : relView(TS, L));
+  applyWrite(T, TS, L, Old + Add, std::move(MsgK), isRelease(O));
+  if (O == MemOrder::SeqCst)
+    ScPhys.joinWith(TS.Cur.Phys);
+  traceOp(T, std::string("faa.") + memOrderName(O) + " " + C.Name + " " +
+                 std::to_string(Old) + " += " + std::to_string(Add));
+  return Old;
+}
+
+void Machine::fence(unsigned T, MemOrder O) {
+  ++Counters.Fences;
+  ThreadState &TS = thread(T);
+  switch (O) {
+  case MemOrder::Acquire:
+    TS.Cur.joinWith(TS.Acq);
+    break;
+  case MemOrder::Release:
+    TS.RelFence = TS.Cur;
+    break;
+  case MemOrder::AcqRel:
+    TS.Cur.joinWith(TS.Acq);
+    TS.RelFence = TS.Cur;
+    break;
+  case MemOrder::SeqCst:
+    TS.Cur.joinWith(TS.Acq);
+    TS.Cur.Phys.joinWith(ScPhys);
+    TS.Acq.Phys.joinWith(ScPhys);
+    ScPhys = TS.Cur.Phys;
+    TS.RelFence = TS.Cur;
+    break;
+  default:
+    fatalError("invalid fence order");
+  }
+  traceOp(T, std::string("fence.") + memOrderName(O));
+}

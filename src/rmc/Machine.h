@@ -1,0 +1,195 @@
+//===-- rmc/Machine.h - Operational RC11 view machine -----------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operational, view-based memory machine for the ORC11 fragment
+/// (Section 2.3 of the paper): per-thread views with current / acquire /
+/// per-location-release / fence-release components, per-location write
+/// histories, and the release/acquire view-transfer rules REL-WRITE and
+/// ACQ-READ. Load buffering is impossible by construction (reads never
+/// observe program-order-later writes; there are no promises), matching
+/// ORC11's `po ∪ rf` acyclicity requirement.
+///
+/// Every nondeterministic step (which readable message a load reads, CAS
+/// success vs. failure alternatives) is resolved through a ChoiceSource,
+/// which the model checker implements to enumerate all executions.
+///
+/// Deviations from the full model, documented in DESIGN.md Section 4:
+///  * writes append at the end of modification order (no in-middle
+///    insertion), and RMWs read the mo-maximal message;
+///  * SC accesses are approximated by rel/acq accesses joined with a global
+///    SC view (sound for the safety properties we check);
+///  * non-atomic race detection requires the accessor to have observed the
+///    whole history of the cell — the complementary read/write race
+///    direction is caught in a sibling interleaving by exhaustive
+///    exploration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_RMC_MACHINE_H
+#define COMPASS_RMC_MACHINE_H
+
+#include "rmc/Knowledge.h"
+#include "rmc/MemOrder.h"
+#include "rmc/Memory.h"
+#include "support/Choice.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace compass::rmc {
+
+/// Predicate over message values, for conditional (spin-wait) loads.
+using ValuePred = std::function<bool(Value)>;
+
+/// The view-based operational machine.
+class Machine {
+public:
+  /// Result of a compare-and-swap.
+  struct CasResult {
+    bool Success = false;
+    Value Old = 0; ///< The value read (== expected iff Success).
+  };
+
+  /// Operation counters for the simulator microbenchmarks.
+  struct Stats {
+    uint64_t Loads = 0;
+    uint64_t Stores = 0;
+    uint64_t Rmws = 0;
+    uint64_t Fences = 0;
+  };
+
+  explicit Machine(ChoiceSource &Choices) : Choices(Choices) {}
+
+  /// Registers a new thread; returns its id. Thread ids are dense from 0.
+  unsigned addThread();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Allocates \p Count cells initialized to \p Init; see Memory::alloc.
+  Loc alloc(std::string Name, unsigned Count = 1, Value Init = 0) {
+    return Mem.alloc(std::move(Name), Count, Init);
+  }
+
+  /// Loads from \p L with order \p O (NonAtomic / Relaxed / Acquire /
+  /// SeqCst), choosing among readable messages.
+  Value load(unsigned T, Loc L, MemOrder O);
+
+  /// Loads from \p L, restricted to readable messages whose value satisfies
+  /// \p Pred. The caller must ensure one exists (see anyReadableSatisfies);
+  /// used to model fair spin-waits.
+  Value loadWhere(unsigned T, Loc L, MemOrder O, const ValuePred &Pred);
+
+  /// True if thread \p T could currently read a message of \p L whose value
+  /// satisfies \p Pred. Does not modify any state.
+  bool anyReadableSatisfies(unsigned T, Loc L, const ValuePred &Pred) const;
+
+  /// Stores \p V to \p L with order \p O (NonAtomic / Relaxed / Release /
+  /// SeqCst).
+  void store(unsigned T, Loc L, Value V, MemOrder O);
+
+  /// Atomic compare-and-swap: succeeds only against the mo-maximal message.
+  /// \p SuccO applies read+write sides on success; \p FailO the read side
+  /// on failure.
+  CasResult cas(unsigned T, Loc L, Value Expected, Value Desired,
+                MemOrder SuccO, MemOrder FailO = MemOrder::Relaxed);
+
+  /// Atomic fetch-and-add; returns the old value.
+  Value fetchAdd(unsigned T, Loc L, Value Add, MemOrder O);
+
+  /// Memory fence with order Acquire / Release / AcqRel / SeqCst.
+  void fence(unsigned T, MemOrder O);
+
+  /// The thread's current knowledge; the spec monitor reads it to snapshot
+  /// physical/logical views at commit points and extends its logical half
+  /// with freshly committed event ids.
+  Knowledge &threadCur(unsigned T);
+  const Knowledge &threadCur(unsigned T) const;
+
+  /// The thread's acquire knowledge (joined by relaxed reads, folded into
+  /// cur by acquire fences). Exposed for the spec monitor's event-id
+  /// bookkeeping.
+  Knowledge &threadAcq(unsigned T);
+
+  /// The knowledge of the message the thread read most recently (via any
+  /// load or RMW). Used by the exchanger monitor to record the helpee's
+  /// view at its offer (Section 4.2). Fatal if the thread never read.
+  const Knowledge &lastReadKnowledge(unsigned T) const;
+
+  /// Timestamp of the thread's most recent read. Retry loops use it as a
+  /// stutter fingerprint: re-reading the same *message* (not merely the
+  /// same value) is a no-progress iteration.
+  Timestamp lastReadTs(unsigned T) const;
+
+  const Memory &memory() const { return Mem; }
+
+  /// True once a data race on a non-atomic access has been detected; the
+  /// scheduler aborts the execution and reports \p raceMessage.
+  bool raceDetected() const { return Raced; }
+  const std::string &raceMessage() const { return RaceMsg; }
+
+  const Stats &stats() const { return Counters; }
+
+  /// When enabled, every memory operation appends a human-readable line to
+  /// trace(); used to print counterexample executions.
+  void enableTrace(bool On) { Tracing = On; }
+  const std::vector<std::string> &trace() const { return Trace; }
+
+private:
+  /// Per-thread view state (cur / acq / rel, Section 2.3 and the promising
+  /// semantics it references).
+  struct ThreadState {
+    Knowledge Cur;      ///< Everything po-or-sync before now.
+    Knowledge Acq;      ///< Additionally, relaxed-read acquisitions.
+    Knowledge RelFence; ///< Released by the last release fence.
+    std::unordered_map<Loc, Knowledge> RelPerLoc; ///< Per-loc release views.
+    bool HasRead = false; ///< Whether LastRead{Loc,Ts} are valid.
+    Loc LastReadLoc = 0;
+    Timestamp LastReadTs = 0;
+  };
+
+  ThreadState &thread(unsigned T);
+  const ThreadState &thread(unsigned T) const;
+
+  /// Applies the read-side view effects of reading message \p M from \p L.
+  void applyRead(ThreadState &TS, Loc L, const Message &M, MemOrder O);
+
+  /// The view a relaxed write to \p L releases (rel(l) ⊔ fence-release).
+  Knowledge relView(const ThreadState &TS, Loc L) const;
+
+  /// Appends a write and applies writer-side effects. Returns new ts.
+  Timestamp applyWrite(unsigned T, ThreadState &TS, Loc L, Value V,
+                       Knowledge MsgK, bool Release);
+
+  void reportRace(unsigned T, Loc L, const char *What);
+  void traceOp(unsigned T, const std::string &Line);
+
+  ChoiceSource &Choices;
+  Memory Mem;
+  std::vector<ThreadState> Threads;
+
+  /// Global SC view (fences and SeqCst accesses) — *physical only*.
+  /// RC11's happens-before orders two SC fences' surroundings only when a
+  /// reads-from edge connects them (which the RelFence/Acq machinery
+  /// models); transferring logical event views through the SC order
+  /// itself would over-approximate lhb and make the empty-consume axioms
+  /// spuriously demanding (observed on the Chase-Lev deque).
+  View ScPhys;
+  bool Raced = false;
+  std::string RaceMsg;
+  Stats Counters;
+  bool Tracing = false;
+  std::vector<std::string> Trace;
+};
+
+} // namespace compass::rmc
+
+#endif // COMPASS_RMC_MACHINE_H

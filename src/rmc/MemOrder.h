@@ -1,0 +1,63 @@
+//===-- rmc/MemOrder.h - Access modes of the ORC11 fragment ----*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The access modes of the memory model fragment we simulate: non-atomic,
+/// relaxed, acquire, release, acquire-release and SC, mirroring the ORC11
+/// model (RC11 with non-atomics, rel/acq, relaxed accesses and fences, and
+/// no load buffering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_RMC_MEMORDER_H
+#define COMPASS_RMC_MEMORDER_H
+
+namespace compass::rmc {
+
+/// Memory access / fence ordering modes.
+enum class MemOrder {
+  NonAtomic, ///< Plain access; racy use is flagged by the machine.
+  Relaxed,   ///< Atomic, no synchronization.
+  Acquire,   ///< Loads / fences / RMW read side.
+  Release,   ///< Stores / fences / RMW write side.
+  AcqRel,    ///< RMWs and fences combining both.
+  SeqCst     ///< Sequentially consistent accesses and fences.
+};
+
+/// True if \p O has acquire semantics on the read side.
+inline bool isAcquire(MemOrder O) {
+  return O == MemOrder::Acquire || O == MemOrder::AcqRel ||
+         O == MemOrder::SeqCst;
+}
+
+/// True if \p O has release semantics on the write side.
+inline bool isRelease(MemOrder O) {
+  return O == MemOrder::Release || O == MemOrder::AcqRel ||
+         O == MemOrder::SeqCst;
+}
+
+/// Printable name of \p O.
+inline const char *memOrderName(MemOrder O) {
+  switch (O) {
+  case MemOrder::NonAtomic:
+    return "na";
+  case MemOrder::Relaxed:
+    return "rlx";
+  case MemOrder::Acquire:
+    return "acq";
+  case MemOrder::Release:
+    return "rel";
+  case MemOrder::AcqRel:
+    return "acq_rel";
+  case MemOrder::SeqCst:
+    return "sc";
+  }
+  return "?";
+}
+
+} // namespace compass::rmc
+
+#endif // COMPASS_RMC_MEMORDER_H

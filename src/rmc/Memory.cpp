@@ -1,0 +1,56 @@
+//===-- rmc/Memory.cpp - Per-location write histories ---------------------===//
+
+#include "rmc/Memory.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace compass;
+using namespace compass::rmc;
+
+Loc Memory::alloc(std::string Name, unsigned Count, Value Init) {
+  assert(Count >= 1 && "allocating zero cells");
+  Loc Base = static_cast<Loc>(Cells.size());
+  for (unsigned I = 0; I != Count; ++I) {
+    Cell C;
+    C.Name = Count == 1 ? Name : Name + "+" + std::to_string(I);
+    Message Init0;
+    Init0.Ts = 0;
+    Init0.Val = Init;
+    C.History.push_back(std::move(Init0));
+    Cells.push_back(std::move(C));
+  }
+  return Base;
+}
+
+const Cell &Memory::cell(Loc L) const {
+  if (L >= Cells.size())
+    fatalError("memory access to unallocated location");
+  return Cells[L];
+}
+
+Cell &Memory::cell(Loc L) {
+  if (L >= Cells.size())
+    fatalError("memory access to unallocated location");
+  return Cells[L];
+}
+
+const Message &Memory::append(Loc L, Value V, Knowledge Know,
+                              unsigned Writer) {
+  Cell &C = cell(L);
+  Message M;
+  M.Ts = C.latestTs() + 1;
+  M.Val = V;
+  M.Know = std::move(Know);
+  M.Writer = Writer;
+  C.History.push_back(std::move(M));
+  return C.History.back();
+}
+
+unsigned Memory::countReadableFrom(Loc L, Timestamp From) const {
+  const Cell &C = cell(L);
+  Timestamp Latest = C.latestTs();
+  assert(From <= Latest && "thread view ahead of the history");
+  return Latest - From + 1;
+}

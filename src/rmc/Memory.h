@@ -1,0 +1,83 @@
+//===-- rmc/Memory.h - Per-location write histories ------------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated memory: each location holds its full *history* of write
+/// messages, ordered by timestamp — the `ℓ ↦ h` atomic points-to of the
+/// paper's Section 2.3, where `h ∈ Time --fin--> Val × View`. Messages
+/// additionally carry logical views (see Knowledge.h). Histories are
+/// append-only: a relaxed write is placed at the end of the modification
+/// order (a documented strengthening over insertion-based semantics; see
+/// DESIGN.md Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_RMC_MEMORY_H
+#define COMPASS_RMC_MEMORY_H
+
+#include "rmc/Knowledge.h"
+#include "rmc/View.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compass::rmc {
+
+/// Values stored in simulated memory. Pointers into simulated memory are
+/// represented as `Loc` values; 0 conventionally encodes null.
+using Value = uint64_t;
+
+/// One write event in a location's history.
+struct Message {
+  Timestamp Ts = 0;      ///< Position in the location's modification order.
+  Value Val = 0;         ///< The written value.
+  Knowledge Know;        ///< View released with the write (Section 2.3).
+  unsigned Writer = ~0u; ///< Thread id of the writer (~0u for init).
+};
+
+/// A single memory cell and its complete write history.
+struct Cell {
+  std::vector<Message> History; ///< Indexed by timestamp (dense, from 0).
+  std::string Name;             ///< Debug name ("q.head", "node3.next"...).
+
+  const Message &latest() const { return History.back(); }
+  Timestamp latestTs() const { return History.back().Ts; }
+};
+
+/// The machine's memory: an array of cells with allocation.
+///
+/// Allocation never reuses locations within one simulation, so simulated
+/// ABA through reallocation cannot occur; simulated data structures that
+/// want to exercise reuse must model it explicitly.
+class Memory {
+public:
+  /// Allocates \p Count fresh cells, named Name, Name+1, ... Each starts
+  /// with an initial message at timestamp 0 holding \p Init and empty
+  /// knowledge (everyone can read it). Returns the first location.
+  Loc alloc(std::string Name, unsigned Count = 1, Value Init = 0);
+
+  /// Number of allocated cells.
+  unsigned size() const { return static_cast<unsigned>(Cells.size()); }
+
+  const Cell &cell(Loc L) const;
+  Cell &cell(Loc L);
+
+  /// Appends a message with the next timestamp to \p L and returns it.
+  const Message &append(Loc L, Value V, Knowledge Know, unsigned Writer);
+
+  /// Messages of \p L readable by a thread whose view holds \p From:
+  /// all timestamps in [From, latest]. Returns the count; the i-th
+  /// readable message has timestamp From + i.
+  unsigned countReadableFrom(Loc L, Timestamp From) const;
+
+private:
+  std::vector<Cell> Cells;
+};
+
+} // namespace compass::rmc
+
+#endif // COMPASS_RMC_MEMORY_H

@@ -1,0 +1,65 @@
+//===-- rmc/View.cpp - Per-location timestamp views ----------------------===//
+
+#include "rmc/View.h"
+
+using namespace compass::rmc;
+
+void View::raise(Loc L, Timestamp T) {
+  if (L >= Entries.size()) {
+    if (T == 0)
+      return;
+    Entries.resize(L + 1, 0);
+  }
+  if (Entries[L] < T)
+    Entries[L] = T;
+}
+
+void View::joinWith(const View &Other) {
+  if (Other.Entries.size() > Entries.size())
+    Entries.resize(Other.Entries.size(), 0);
+  for (size_t I = 0, E = Other.Entries.size(); I != E; ++I)
+    if (Entries[I] < Other.Entries[I])
+      Entries[I] = Other.Entries[I];
+}
+
+bool View::includedIn(const View &Other) const {
+  for (size_t I = 0, E = Entries.size(); I != E; ++I) {
+    Timestamp Theirs = I < Other.Entries.size() ? Other.Entries[I] : 0;
+    if (Entries[I] > Theirs)
+      return false;
+  }
+  return true;
+}
+
+unsigned View::countNonZero() const {
+  unsigned N = 0;
+  for (Timestamp T : Entries)
+    if (T)
+      ++N;
+  return N;
+}
+
+bool View::operator==(const View &Other) const {
+  return includedIn(Other) && Other.includedIn(*this);
+}
+
+std::string View::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (size_t I = 0, E = Entries.size(); I != E; ++I) {
+    if (!Entries[I])
+      continue;
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "l" + std::to_string(I) + "@" + std::to_string(Entries[I]);
+  }
+  Out += "}";
+  return Out;
+}
+
+View compass::rmc::join(const View &A, const View &B) {
+  View Out = A;
+  Out.joinWith(B);
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===-- rmc/View.h - Per-location timestamp views --------------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Views in the sense of the paper's Section 2.3: maps from memory locations
+/// to timestamps, recording which writes a thread (or a message) has
+/// observed. Timestamps index the modification order of each location. The
+/// view-inclusion partial order `V1 ⊑ V2 ::= ∀l. V1(l) <= V2(l)` is the
+/// physical approximation of happens-before used throughout the framework.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_RMC_VIEW_H
+#define COMPASS_RMC_VIEW_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compass::rmc {
+
+/// Index of a memory cell in the simulated machine's memory.
+using Loc = uint32_t;
+
+/// Index into a location's modification order. Timestamp 0 is the initial
+/// write created at allocation time; every thread can always read it.
+using Timestamp = uint32_t;
+
+/// A map Loc -> Timestamp with join (pointwise max) and inclusion
+/// (pointwise <=). Stored densely: absent locations implicitly map to 0,
+/// which is always satisfied since every location's initial write has
+/// timestamp 0.
+class View {
+public:
+  View() = default;
+
+  /// The timestamp this view holds for \p L (0 if never raised).
+  Timestamp get(Loc L) const {
+    return L < Entries.size() ? Entries[L] : 0;
+  }
+
+  /// Raises the view's entry for \p L to at least \p T.
+  void raise(Loc L, Timestamp T);
+
+  /// Pointwise maximum in place: this := this ⊔ Other.
+  void joinWith(const View &Other);
+
+  /// Returns true if this ⊑ Other (pointwise <=).
+  bool includedIn(const View &Other) const;
+
+  /// Number of locations with a non-zero entry.
+  unsigned countNonZero() const;
+
+  bool operator==(const View &Other) const;
+
+  /// Renders the view as "{l0@t0, l3@t7}" for diagnostics.
+  std::string str() const;
+
+private:
+  std::vector<Timestamp> Entries;
+};
+
+/// Convenience: the join of two views as a fresh value.
+View join(const View &A, const View &B);
+
+} // namespace compass::rmc
+
+#endif // COMPASS_RMC_VIEW_H

@@ -1,0 +1,112 @@
+//===-- sim/Explorer.cpp - Stateless model-checking driver ----------------===//
+
+#include "sim/Explorer.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace compass;
+using namespace compass::sim;
+
+Explorer::Explorer(Options O) : Opts(O), Rand(O.Seed) {}
+
+Explorer::Explorer() : Explorer(Options{}) {}
+
+bool Explorer::beginExecution() {
+  assert(!InExecution && "beginExecution without matching endExecution");
+  if (Opts.ExploreMode == Mode::Random) {
+    if (Sum.Executions >= Opts.RandomRuns)
+      return false;
+  } else {
+    if (TreeExhausted && !Trace.empty())
+      fatalError("explorer state corrupt");
+    if (TreeExhausted)
+      return false;
+    if (Sum.Executions >= Opts.MaxExecutions)
+      return false;
+  }
+  Pos = 0;
+  InExecution = true;
+  return true;
+}
+
+unsigned Explorer::choose(unsigned Count, const char *Tag) {
+  (void)Tag;
+  assert(InExecution && "choice outside an execution");
+  assert(Count >= 1 && "choice with no alternatives");
+  if (Opts.ExploreMode == Mode::Random)
+    return static_cast<unsigned>(Rand.below(Count));
+
+  if (Pos < Trace.size()) {
+    // Replaying the backtracked prefix; the program must be deterministic
+    // given the decision sequence.
+    if (Trace[Pos].Count != Count)
+      fatalError("nondeterministic replay: decision arity changed");
+    return Trace[Pos++].Chosen;
+  }
+  Trace.push_back({0, Count});
+  ++Pos;
+  return 0;
+}
+
+void Explorer::endExecution(Scheduler::RunResult R) {
+  assert(InExecution && "endExecution without beginExecution");
+  InExecution = false;
+  ++Sum.Executions;
+  switch (R) {
+  case Scheduler::RunResult::Done:
+    ++Sum.Completed;
+    break;
+  case Scheduler::RunResult::Deadlock:
+    ++Sum.Deadlocks;
+    break;
+  case Scheduler::RunResult::Race:
+    ++Sum.Races;
+    break;
+  case Scheduler::RunResult::StepLimit:
+    ++Sum.Diverged;
+    break;
+  case Scheduler::RunResult::Pruned:
+    ++Sum.Pruned;
+    break;
+  }
+
+  if (Opts.ExploreMode == Mode::Random)
+    return;
+
+  if (Trace.size() > Sum.MaxDepth)
+    Sum.MaxDepth = Trace.size();
+  assert(Pos == Trace.size() && "execution ended mid-replay");
+
+  // Depth-first backtracking: advance the deepest decision that still has
+  // an untried alternative, discarding everything below it.
+  while (!Trace.empty() && Trace.back().Chosen + 1 >= Trace.back().Count)
+    Trace.pop_back();
+  if (Trace.empty()) {
+    TreeExhausted = true;
+    Sum.Exhausted = true;
+    return;
+  }
+  ++Trace.back().Chosen;
+}
+
+std::vector<unsigned> Explorer::currentDecisions() const {
+  std::vector<unsigned> Out;
+  Out.reserve(Trace.size());
+  for (const Decision &D : Trace)
+    Out.push_back(D.Chosen);
+  return Out;
+}
+
+std::string Explorer::Summary::str() const {
+  std::string Out;
+  Out += "executions=" + std::to_string(Executions);
+  Out += " completed=" + std::to_string(Completed);
+  Out += " deadlocks=" + std::to_string(Deadlocks);
+  Out += " races=" + std::to_string(Races);
+  Out += " diverged=" + std::to_string(Diverged);
+  Out += " pruned=" + std::to_string(Pruned);
+  Out += Exhausted ? " (exhaustive)" : " (truncated)";
+  return Out;
+}

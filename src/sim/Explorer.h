@@ -1,0 +1,129 @@
+//===-- sim/Explorer.h - Stateless model-checking driver --------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model checker: a stateless (replay-based) explorer of the decision
+/// tree formed by every nondeterministic choice of an execution — scheduler
+/// picks, load read-from choices, and CAS alternatives. In exhaustive mode
+/// it performs a depth-first enumeration of all decision sequences (up to
+/// an execution cap); in random mode it samples seeded random decision
+/// sequences. This is the framework's replacement for the paper's deductive
+/// proofs: a property checked over *all* executions of a bounded workload.
+///
+/// Usage:
+/// \code
+///   Explorer Ex(Opts);
+///   while (Ex.beginExecution()) {
+///     rmc::Machine M(Ex);
+///     Scheduler S(M, Ex);
+///     ... allocate, create monitors, start threads ...
+///     auto R = S.run(Ex.options().MaxStepsPerExec);
+///     ... per-execution checks ...
+///     Ex.endExecution(R);
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SIM_EXPLORER_H
+#define COMPASS_SIM_EXPLORER_H
+
+#include "sim/Scheduler.h"
+#include "support/Choice.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compass::sim {
+
+/// Explores the decision tree of a bounded concurrent program.
+class Explorer : public ChoiceSource {
+public:
+  enum class Mode {
+    Exhaustive, ///< DFS over all decision sequences.
+    Random      ///< Seeded random sampling.
+  };
+
+  struct Options {
+    Mode ExploreMode = Mode::Exhaustive;
+    uint64_t MaxExecutions = 2'000'000; ///< Cap for exhaustive mode.
+    uint64_t RandomRuns = 1000;         ///< Runs in random mode.
+    uint64_t Seed = 1;                  ///< Random-mode seed.
+    uint64_t MaxStepsPerExec = 100'000; ///< Scheduler step budget.
+    unsigned PreemptionBound = ~0u;     ///< Scheduler preemption budget.
+  };
+
+  struct Summary {
+    uint64_t Executions = 0; ///< Total runs performed.
+    uint64_t Completed = 0;  ///< Runs where all threads finished.
+    uint64_t Deadlocks = 0;
+    uint64_t Races = 0;
+    uint64_t Diverged = 0;  ///< Runs cut off by the step budget.
+    uint64_t Pruned = 0;    ///< Stutter iterations cut by Env::prune.
+    bool Exhausted = false; ///< Whole tree covered (exhaustive mode).
+    uint64_t MaxDepth = 0;  ///< Deepest decision sequence seen.
+
+    std::string str() const;
+  };
+
+  explicit Explorer(Options O);
+  Explorer();
+
+  /// Prepares the next execution; false when exploration is finished.
+  bool beginExecution();
+
+  /// Reports the result of the current execution and backtracks.
+  void endExecution(Scheduler::RunResult R);
+
+  unsigned choose(unsigned Count, const char *Tag) override;
+
+  const Options &options() const { return Opts; }
+  const Summary &summary() const { return Sum; }
+
+  /// The decision sequence of the current (or last) execution; useful for
+  /// reporting reproducible counterexamples.
+  std::vector<unsigned> currentDecisions() const;
+
+private:
+  struct Decision {
+    unsigned Chosen;
+    unsigned Count;
+  };
+
+  Options Opts;
+  Summary Sum;
+  std::vector<Decision> Trace;
+  size_t Pos = 0;
+  bool InExecution = false;
+  bool TreeExhausted = false;
+  Rng Rand;
+};
+
+/// Convenience driver: runs \p Setup then the scheduler for every explored
+/// execution, invoking \p Check afterwards. \p Setup receives the fresh
+/// machine and scheduler and must allocate state and start threads;
+/// \p Check receives them after the run together with the run result.
+template <typename SetupT, typename CheckT>
+Explorer::Summary explore(Explorer::Options Opts, SetupT Setup,
+                          CheckT Check) {
+  Explorer Ex(Opts);
+  while (Ex.beginExecution()) {
+    rmc::Machine M(Ex);
+    Scheduler S(M, Ex);
+    S.setPreemptionBound(Opts.PreemptionBound);
+    Setup(M, S);
+    Scheduler::RunResult R = S.run(Opts.MaxStepsPerExec);
+    Check(M, S, R);
+    Ex.endExecution(R);
+  }
+  return Ex.summary();
+}
+
+} // namespace compass::sim
+
+#endif // COMPASS_SIM_EXPLORER_H

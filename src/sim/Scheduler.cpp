@@ -1,0 +1,117 @@
+//===-- sim/Scheduler.cpp - Cooperative simulated-thread scheduler --------===//
+
+
+#include "sim/Scheduler.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace compass;
+using namespace compass::sim;
+
+Env &Scheduler::newThread() {
+  unsigned Tid = M.addThread();
+  auto Rec = std::make_unique<ThreadRec>();
+  Rec->E = std::make_unique<Env>(Env{M, *this, Tid});
+  Env &Out = *Rec->E;
+  Threads.push_back(std::move(Rec));
+  assert(Threads.size() == M.numThreads() &&
+         "threads must be created through the scheduler");
+  return Out;
+}
+
+void Scheduler::start(Env &E, Task<void> Root) {
+  ThreadRec &Rec = *Threads[E.Tid];
+  assert(!Rec.Started && "thread already started");
+  assert(Rec.E.get() == &E && "start() must use the thread's own Env");
+  Rec.Root = std::move(Root);
+  Rec.Pending = Rec.Root.handle();
+  Rec.Started = true;
+}
+
+void Scheduler::park(unsigned Tid, std::coroutine_handle<> H) {
+  ThreadRec &Rec = *Threads[Tid];
+  assert(!Rec.Pending && "thread parked twice without being scheduled");
+  Rec.Pending = H;
+  Rec.Blocked = false;
+}
+
+void Scheduler::parkBlocked(unsigned Tid, std::coroutine_handle<> H,
+                            rmc::Loc L, rmc::ValuePred Pred) {
+  ThreadRec &Rec = *Threads[Tid];
+  assert(!Rec.Pending && "thread parked twice without being scheduled");
+  Rec.Pending = H;
+  Rec.Blocked = true;
+  Rec.WaitLoc = L;
+  Rec.WaitPred = std::move(Pred);
+}
+
+Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
+  for (auto &Rec : Threads)
+    if (!Rec->Started)
+      fatalError("scheduler run() with an unstarted thread");
+
+  std::vector<unsigned> Enabled;
+  for (;;) {
+    if (M.raceDetected())
+      return RunResult::Race;
+    if (PruneRequested)
+      return RunResult::Pruned;
+
+    Enabled.clear();
+    bool AnyUnfinished = false;
+    for (unsigned Tid = 0, E = static_cast<unsigned>(Threads.size());
+         Tid != E; ++Tid) {
+      ThreadRec &Rec = *Threads[Tid];
+      if (Rec.Done)
+        continue;
+      AnyUnfinished = true;
+      if (!Rec.Blocked ||
+          M.anyReadableSatisfies(Tid, Rec.WaitLoc, Rec.WaitPred))
+        Enabled.push_back(Tid);
+    }
+
+    if (!AnyUnfinished)
+      return RunResult::Done;
+    if (Enabled.empty())
+      return RunResult::Deadlock;
+    if (Steps >= MaxSteps)
+      return RunResult::StepLimit;
+
+    // Preemption bounding (CHESS): once the budget is spent, a thread that
+    // is still enabled keeps running; switches are only explored when the
+    // current thread blocked or finished, or while budget remains.
+    bool LastEnabled = false;
+    for (unsigned Tid : Enabled)
+      LastEnabled |= Tid == LastRun;
+    unsigned Pick;
+    if (LastEnabled && Preemptions >= PreemptionBound) {
+      Pick = 0;
+      while (Enabled[Pick] != LastRun)
+        ++Pick;
+    } else {
+      Pick = Enabled.size() == 1
+                 ? 0
+                 : Choices.choose(static_cast<unsigned>(Enabled.size()),
+                                  "sched");
+      if (LastEnabled && Enabled[Pick] != LastRun)
+        ++Preemptions;
+    }
+    LastRun = Enabled[Pick];
+    ThreadRec &Rec = *Threads[Enabled[Pick]];
+    Rec.Blocked = false;
+    std::coroutine_handle<> H = Rec.Pending;
+    Rec.Pending = nullptr;
+    H.resume();
+    ++Steps;
+
+    // The thread either parked a new pending handle (at its next memory
+    // operation) or ran to completion.
+    if (!Rec.Pending) {
+      if (!Rec.Root.done())
+        fatalError("thread stopped without parking or ending");
+      Rec.Done = true;
+    }
+  }
+}

@@ -1,0 +1,247 @@
+//===-- sim/Scheduler.h - Cooperative simulated-thread scheduler -*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cooperative scheduler driving simulated threads over the RMC
+/// machine. Threads are coroutines (see Task.h); each simulated memory
+/// operation suspends the thread and registers it with the scheduler, so
+/// the interleaving of memory operations — the only events visible to the
+/// memory model — is fully controlled by a ChoiceSource.
+///
+/// Threads may also *block* on a predicate over a location's readable
+/// messages (`spinUntil`), modelling fair spin loops: a blocked thread is
+/// scheduled only when a satisfying message is readable. Unbounded spinning
+/// that cannot be expressed this way is handled by the per-execution step
+/// budget (executions exceeding it are reported as StepLimit and counted as
+/// diverged by the explorer; safety checking remains sound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SIM_SCHEDULER_H
+#define COMPASS_SIM_SCHEDULER_H
+
+#include "rmc/Machine.h"
+#include "sim/Task.h"
+#include "support/Choice.h"
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+namespace compass::sim {
+
+class Scheduler;
+
+/// Per-thread execution environment handed to simulated-thread coroutines.
+/// Provides awaitable factories for every memory operation; `co_await
+/// E.load(L, O)` suspends to the scheduler and performs the access when the
+/// thread is next scheduled.
+struct Env {
+  rmc::Machine &M;
+  Scheduler &S;
+  unsigned Tid;
+
+  // Awaitable factories; definitions follow the Scheduler class.
+  auto load(rmc::Loc L, rmc::MemOrder O);
+  auto store(rmc::Loc L, rmc::Value V, rmc::MemOrder O);
+  auto cas(rmc::Loc L, rmc::Value Expected, rmc::Value Desired,
+           rmc::MemOrder SuccO,
+           rmc::MemOrder FailO = rmc::MemOrder::Relaxed);
+  auto fetchAdd(rmc::Loc L, rmc::Value Add, rmc::MemOrder O);
+  auto fence(rmc::MemOrder O);
+
+  /// Blocks until a readable message of \p L satisfies \p Pred, then reads
+  /// one such message with order \p O. Models a fair spin loop.
+  auto spinUntil(rmc::Loc L, rmc::ValuePred Pred, rmc::MemOrder O);
+
+  /// Abandons this execution as a stutter (an identical retry-loop
+  /// iteration that made no progress). Sound for safety checking: a
+  /// stuttering iteration performs only reads and failed CASes, so every
+  /// state it can reach is reached by the sibling execution that read
+  /// fresher values. The awaited expression never resumes.
+  auto prune();
+};
+
+/// Cooperative scheduler; see file comment.
+class Scheduler {
+public:
+  /// Why a run ended.
+  enum class RunResult {
+    Done,      ///< All threads finished.
+    Deadlock,  ///< Unfinished threads, none enabled.
+    Race,      ///< The machine flagged a non-atomic data race.
+    StepLimit, ///< The step budget was exhausted (diverged/unfair run).
+    Pruned     ///< A thread flagged a stutter iteration (Env::prune).
+  };
+
+  Scheduler(rmc::Machine &M, ChoiceSource &Choices)
+      : M(M), Choices(Choices) {}
+
+  /// Bounds the number of *preemptive* context switches (switching away
+  /// from a thread that is still enabled), CHESS-style [Musuvathi &
+  /// Qadeer]. Unlimited by default; small bounds make exhaustive
+  /// exploration of 3+-thread clients tractable while covering all
+  /// low-preemption interleavings. Non-preemptive switches (after a thread
+  /// blocks or finishes) are always explored fully.
+  void setPreemptionBound(unsigned Bound) { PreemptionBound = Bound; }
+
+  unsigned preemptionsUsed() const { return Preemptions; }
+
+  /// Creates a new simulated thread and returns its environment. The
+  /// returned reference is stable for the scheduler's lifetime. Pass it to
+  /// a coroutine function and attach the resulting task with start().
+  Env &newThread();
+
+  /// Attaches \p Root as the body of \p E's thread. Must be called exactly
+  /// once per newThread(), before run(). \p Root must be a coroutine that
+  /// received this thread's Env (threads must not share an Env).
+  void start(Env &E, Task<void> Root);
+
+  /// Runs until completion, deadlock, race, or the step budget.
+  RunResult run(uint64_t MaxSteps = 1 << 20);
+
+  uint64_t steps() const { return Steps; }
+
+  /// True if the thread \p Tid has finished. Valid after run().
+  bool finished(unsigned Tid) const { return Threads[Tid]->Done; }
+
+  // Internal API used by the awaitables.
+  void park(unsigned Tid, std::coroutine_handle<> H);
+  void parkBlocked(unsigned Tid, std::coroutine_handle<> H, rmc::Loc L,
+                   rmc::ValuePred Pred);
+  void requestPrune() { PruneRequested = true; }
+
+private:
+  struct ThreadRec {
+    std::unique_ptr<Env> E;
+    Task<void> Root;
+    std::coroutine_handle<> Pending;
+    bool Started = false;
+    bool Done = false;
+    bool Blocked = false;
+    rmc::Loc WaitLoc = 0;
+    rmc::ValuePred WaitPred;
+  };
+
+  rmc::Machine &M;
+  ChoiceSource &Choices;
+  std::vector<std::unique_ptr<ThreadRec>> Threads;
+  uint64_t Steps = 0;
+  unsigned PreemptionBound = ~0u;
+  unsigned Preemptions = 0;
+  unsigned LastRun = ~0u;
+  bool PruneRequested = false;
+};
+
+namespace detail {
+
+/// Base for one-shot memory-operation awaitables: suspend to the scheduler,
+/// perform the access on resume.
+struct OpAwaiterBase {
+  Env &E;
+  explicit OpAwaiterBase(Env &E) : E(E) {}
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> H) { E.S.park(E.Tid, H); }
+};
+
+struct LoadAwaiter : OpAwaiterBase {
+  rmc::Loc L;
+  rmc::MemOrder O;
+  LoadAwaiter(Env &E, rmc::Loc L, rmc::MemOrder O)
+      : OpAwaiterBase(E), L(L), O(O) {}
+  rmc::Value await_resume() { return E.M.load(E.Tid, L, O); }
+};
+
+struct StoreAwaiter : OpAwaiterBase {
+  rmc::Loc L;
+  rmc::Value V;
+  rmc::MemOrder O;
+  StoreAwaiter(Env &E, rmc::Loc L, rmc::Value V, rmc::MemOrder O)
+      : OpAwaiterBase(E), L(L), V(V), O(O) {}
+  void await_resume() { E.M.store(E.Tid, L, V, O); }
+};
+
+struct CasAwaiter : OpAwaiterBase {
+  rmc::Loc L;
+  rmc::Value Expected, Desired;
+  rmc::MemOrder SuccO, FailO;
+  CasAwaiter(Env &E, rmc::Loc L, rmc::Value Expected, rmc::Value Desired,
+             rmc::MemOrder SuccO, rmc::MemOrder FailO)
+      : OpAwaiterBase(E), L(L), Expected(Expected), Desired(Desired),
+        SuccO(SuccO), FailO(FailO) {}
+  rmc::Machine::CasResult await_resume() {
+    return E.M.cas(E.Tid, L, Expected, Desired, SuccO, FailO);
+  }
+};
+
+struct FaaAwaiter : OpAwaiterBase {
+  rmc::Loc L;
+  rmc::Value Add;
+  rmc::MemOrder O;
+  FaaAwaiter(Env &E, rmc::Loc L, rmc::Value Add, rmc::MemOrder O)
+      : OpAwaiterBase(E), L(L), Add(Add), O(O) {}
+  rmc::Value await_resume() { return E.M.fetchAdd(E.Tid, L, Add, O); }
+};
+
+struct FenceAwaiter : OpAwaiterBase {
+  rmc::MemOrder O;
+  FenceAwaiter(Env &E, rmc::MemOrder O) : OpAwaiterBase(E), O(O) {}
+  void await_resume() { E.M.fence(E.Tid, O); }
+};
+
+struct PruneAwaiter {
+  Env &E;
+  explicit PruneAwaiter(Env &E) : E(E) {}
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> H) {
+    // Re-park so coroutine teardown stays uniform; the scheduler stops
+    // before ever resuming this thread again.
+    E.S.park(E.Tid, H);
+    E.S.requestPrune();
+  }
+  void await_resume() {}
+};
+
+struct SpinAwaiter {
+  Env &E;
+  rmc::Loc L;
+  rmc::ValuePred Pred;
+  rmc::MemOrder O;
+  SpinAwaiter(Env &E, rmc::Loc L, rmc::ValuePred Pred, rmc::MemOrder O)
+      : E(E), L(L), Pred(std::move(Pred)), O(O) {}
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> H) {
+    E.S.parkBlocked(E.Tid, H, L, Pred);
+  }
+  rmc::Value await_resume() { return E.M.loadWhere(E.Tid, L, O, Pred); }
+};
+
+} // namespace detail
+
+inline auto Env::load(rmc::Loc L, rmc::MemOrder O) {
+  return detail::LoadAwaiter(*this, L, O);
+}
+inline auto Env::store(rmc::Loc L, rmc::Value V, rmc::MemOrder O) {
+  return detail::StoreAwaiter(*this, L, V, O);
+}
+inline auto Env::cas(rmc::Loc L, rmc::Value Expected, rmc::Value Desired,
+                     rmc::MemOrder SuccO, rmc::MemOrder FailO) {
+  return detail::CasAwaiter(*this, L, Expected, Desired, SuccO, FailO);
+}
+inline auto Env::fetchAdd(rmc::Loc L, rmc::Value Add, rmc::MemOrder O) {
+  return detail::FaaAwaiter(*this, L, Add, O);
+}
+inline auto Env::fence(rmc::MemOrder O) {
+  return detail::FenceAwaiter(*this, O);
+}
+inline auto Env::spinUntil(rmc::Loc L, rmc::ValuePred Pred, rmc::MemOrder O) {
+  return detail::SpinAwaiter(*this, L, std::move(Pred), O);
+}
+inline auto Env::prune() { return detail::PruneAwaiter(*this); }
+
+} // namespace compass::sim
+
+#endif // COMPASS_SIM_SCHEDULER_H

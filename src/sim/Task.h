@@ -1,0 +1,194 @@
+//===-- sim/Task.h - Coroutine tasks for simulated threads -----*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal coroutine task type used to express simulated threads. Library
+/// operations (enqueue, pop, exchange, ...) are coroutines returning
+/// Task<T>; every simulated memory access is a `co_await` that suspends to
+/// the scheduler, making memory accesses the only preemption points — the
+/// granularity at which the model checker interleaves threads.
+///
+/// Tasks are lazy (started when first awaited/resumed) and owning
+/// (destroying a Task destroys its coroutine frame and, transitively, the
+/// frames of the child tasks held in its locals). Continuations are chained
+/// by *explicit* resumption from void-returning await_suspend rather than
+/// symmetric transfer: GCC 12's codegen for handle-returning await_suspend
+/// miscompiles conditional awaits of tasks that themselves contain
+/// conditional awaits (the suspended chain loses its pending leaf). The
+/// explicit form costs one native stack frame per nesting level, which is
+/// bounded by the library call depth (< 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SIM_TASK_H
+#define COMPASS_SIM_TASK_H
+
+#include <cassert>
+#include <coroutine>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+namespace compass::sim {
+
+namespace detail {
+
+/// State shared by all task promises: the continuation to resume when the
+/// task completes (the awaiting parent coroutine, if any).
+struct PromiseBase {
+  std::coroutine_handle<> Continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+
+    template <typename PromiseT>
+    void await_suspend(std::coroutine_handle<PromiseT> H) noexcept {
+      // Copy out of the frame: resuming the continuation may destroy this
+      // task's frame (the parent's co_await full-expression ends); nothing
+      // frame-resident is touched afterwards.
+      std::coroutine_handle<> C = H.promise().Continuation;
+      if (C)
+        C.resume();
+    }
+
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { std::abort(); }
+};
+
+} // namespace detail
+
+/// An owning, lazily-started coroutine task producing a T.
+template <typename T> class [[nodiscard]] Task {
+public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> Result;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T V) { Result.emplace(std::move(V)); }
+  };
+
+  Task() = default;
+  Task(Task &&Other) noexcept : Handle(Other.Handle) {
+    Other.Handle = nullptr;
+  }
+  Task &operator=(Task &&Other) noexcept {
+    if (this != &Other) {
+      if (Handle)
+        Handle.destroy();
+      Handle = Other.Handle;
+      Other.Handle = nullptr;
+    }
+    return *this;
+  }
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+  ~Task() {
+    if (Handle)
+      Handle.destroy();
+  }
+
+  /// Awaiting a task runs it inside await_ready until it parks with the
+  /// scheduler or completes; the continuation is recorded only after the
+  /// parent has actually suspended. This is race-free because the child,
+  /// once parked, can only be resumed by the (single-threaded) scheduler,
+  /// which runs strictly after the parent's suspension unwinds.
+  struct Awaiter {
+    std::coroutine_handle<promise_type> H;
+    bool await_ready() {
+      H.resume();
+      return H.done();
+    }
+    void await_suspend(std::coroutine_handle<> Parent) {
+      H.promise().Continuation = Parent;
+    }
+    T await_resume() {
+      assert(H.promise().Result && "task finished without a value");
+      return std::move(*H.promise().Result);
+    }
+  };
+
+  /// Awaiting is restricted to *named* (lvalue) tasks: GCC 12 miscompiles
+  /// `co_await <temporary Task>` inside branch contexts (the temporary's
+  /// frame-resident lifetime management corrupts the enclosing frame's
+  /// resume point). Bind the task to a local first:
+  /// \code
+  ///   auto T = stack.push(E, V);
+  ///   co_await T;
+  /// \endcode
+  Awaiter operator co_await() & { return Awaiter{Handle}; }
+  Awaiter operator co_await() && = delete;
+
+  std::coroutine_handle<> handle() const { return Handle; }
+  bool done() const { return !Handle || Handle.done(); }
+
+private:
+  explicit Task(std::coroutine_handle<promise_type> H) : Handle(H) {}
+  std::coroutine_handle<promise_type> Handle;
+};
+
+/// Specialization for tasks producing no value.
+template <> class [[nodiscard]] Task<void> {
+public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  Task(Task &&Other) noexcept : Handle(Other.Handle) {
+    Other.Handle = nullptr;
+  }
+  Task &operator=(Task &&Other) noexcept {
+    if (this != &Other) {
+      if (Handle)
+        Handle.destroy();
+      Handle = Other.Handle;
+      Other.Handle = nullptr;
+    }
+    return *this;
+  }
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+  ~Task() {
+    if (Handle)
+      Handle.destroy();
+  }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> H;
+    bool await_ready() {
+      H.resume();
+      return H.done();
+    }
+    void await_suspend(std::coroutine_handle<> Parent) {
+      H.promise().Continuation = Parent;
+    }
+    void await_resume() {}
+  };
+
+  /// See Task<T>::operator co_await: awaiting temporaries is disabled.
+  Awaiter operator co_await() & { return Awaiter{Handle}; }
+  Awaiter operator co_await() && = delete;
+
+  std::coroutine_handle<> handle() const { return Handle; }
+  bool done() const { return !Handle || Handle.done(); }
+
+private:
+  explicit Task(std::coroutine_handle<promise_type> H) : Handle(H) {}
+  std::coroutine_handle<promise_type> Handle;
+};
+
+} // namespace compass::sim
+
+#endif // COMPASS_SIM_TASK_H

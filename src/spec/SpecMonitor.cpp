@@ -1,0 +1,95 @@
+//===-- spec/SpecMonitor.cpp - Commit-point event recording ----------------===//
+
+#include "spec/SpecMonitor.h"
+
+#include "support/Error.h"
+
+using namespace compass;
+using namespace compass::spec;
+using namespace compass::graph;
+
+unsigned SpecMonitor::registerObject(std::string Name) {
+  ObjectNames.push_back(std::move(Name));
+  return static_cast<unsigned>(ObjectNames.size()) - 1;
+}
+
+const std::string &SpecMonitor::objectName(unsigned ObjId) const {
+  if (ObjId >= ObjectNames.size())
+    fatalError("unknown object id");
+  return ObjectNames[ObjId];
+}
+
+EventId SpecMonitor::reserve(rmc::Machine &M, unsigned T) {
+  EventId Id = G.reserve();
+  M.threadCur(T).Events.insert(Id);
+  M.threadAcq(T).Events.insert(Id);
+  return Id;
+}
+
+void SpecMonitor::retract(rmc::Machine &M, unsigned T, EventId Id) {
+  G.retract(Id);
+  M.threadCur(T).Events.erase(Id);
+  M.threadAcq(T).Events.erase(Id);
+}
+
+IdSet SpecMonitor::committedKnown(rmc::Machine &M, unsigned T) const {
+  IdSet Out;
+  M.threadCur(T).Events.forEach([&](uint32_t Id) {
+    if (G.isCommitted(Id))
+      Out.insert(Id);
+  });
+  return Out;
+}
+
+void SpecMonitor::commit(rmc::Machine &M, unsigned T, EventId Id,
+                         unsigned ObjId, OpKind Kind, rmc::Value V1,
+                         rmc::Value V2, std::optional<EventId> SoFrom) {
+  Event E;
+  E.Kind = Kind;
+  E.V1 = V1;
+  E.V2 = V2;
+  E.ObjId = ObjId;
+  E.Thread = T;
+  E.PhysView = M.threadCur(T).Phys;
+  E.LogView = committedKnown(M, T);
+  E.LogView.insert(Id);
+  G.commit(Id, std::move(E));
+  if (SoFrom)
+    G.addSo(*SoFrom, Id);
+}
+
+void SpecMonitor::commitExchangePair(rmc::Machine &M, unsigned HelperT,
+                                     EventId HelperId, rmc::Value HelperVal,
+                                     unsigned HelpeeT, EventId HelpeeId,
+                                     rmc::Value HelpeeVal,
+                                     const rmc::View &HelpeePhys,
+                                     unsigned ObjId) {
+  // Helpee first (the paper's commit order e2 < e1 when e1 helps). Its
+  // logical view is the helper's, which cannot yet contain the helper's
+  // own event (not committed), realizing footnote 7: the helpee does not
+  // happen-after the helper.
+  Event E2;
+  E2.Kind = OpKind::Exchange;
+  E2.V1 = HelpeeVal;
+  E2.V2 = HelperVal;
+  E2.ObjId = ObjId;
+  E2.Thread = HelpeeT;
+  E2.PhysView = HelpeePhys;
+  E2.LogView = committedKnown(M, HelperT);
+  E2.LogView.insert(HelpeeId);
+  G.commit(HelpeeId, std::move(E2));
+
+  Event E1;
+  E1.Kind = OpKind::Exchange;
+  E1.V1 = HelperVal;
+  E1.V2 = HelpeeVal;
+  E1.ObjId = ObjId;
+  E1.Thread = HelperT;
+  E1.PhysView = M.threadCur(HelperT).Phys;
+  E1.LogView = committedKnown(M, HelperT); // Now includes HelpeeId.
+  E1.LogView.insert(HelperId);
+  G.commit(HelperId, std::move(E1));
+
+  G.addSo(HelperId, HelpeeId);
+  G.addSo(HelpeeId, HelperId);
+}

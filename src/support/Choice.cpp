@@ -1,0 +1,16 @@
+//===-- support/Choice.cpp - Nondeterminism resolution interface ---------===//
+
+#include "support/Choice.h"
+
+#include <cassert>
+
+using namespace compass;
+
+ChoiceSource::~ChoiceSource() = default;
+
+unsigned FirstChoice::choose(unsigned Count, const char *Tag) {
+  (void)Tag;
+  (void)Count;
+  assert(Count >= 1 && "choice with no alternatives");
+  return 0;
+}

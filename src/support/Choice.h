@@ -1,0 +1,40 @@
+//===-- support/Choice.h - Nondeterminism resolution interface -*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single funnel through which every source of nondeterminism in a
+/// simulated execution is resolved: scheduler picks, which message a relaxed
+/// or acquire load reads from, and CAS success/failure alternatives. The
+/// model checker's Explorer implements this interface to enumerate all
+/// decision sequences (stateless DFS) or to sample them randomly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SUPPORT_CHOICE_H
+#define COMPASS_SUPPORT_CHOICE_H
+
+namespace compass {
+
+/// Resolves one bounded nondeterministic choice at a time.
+class ChoiceSource {
+public:
+  virtual ~ChoiceSource();
+
+  /// Returns a value in [0, Count). \p Count must be at least 1. \p Tag is a
+  /// static string naming the decision kind, for diagnostics and traces.
+  virtual unsigned choose(unsigned Count, const char *Tag) = 0;
+};
+
+/// A trivial source that always picks alternative 0 (the newest message, the
+/// first enabled thread). Useful for smoke tests and sequential examples.
+class FirstChoice final : public ChoiceSource {
+public:
+  unsigned choose(unsigned Count, const char *Tag) override;
+};
+
+} // namespace compass
+
+#endif // COMPASS_SUPPORT_CHOICE_H

@@ -1,0 +1,12 @@
+//===-- support/Error.cpp - Fatal errors ---------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void compass::fatalError(std::string_view Msg) {
+  std::fprintf(stderr, "compass fatal error: %.*s\n",
+               static_cast<int>(Msg.size()), Msg.data());
+  std::abort();
+}

@@ -1,0 +1,34 @@
+//===-- support/Error.h - Fatal errors and checked assertions --*- C++ -*-===//
+//
+// Part of compass-cxx, a C++ reproduction of the PLDI'22 paper "Compass:
+// Strong and Compositional Library Specifications in Relaxed Memory
+// Separation Logic". Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting used for programmatic errors (invariant violations)
+/// throughout the library. The simulator and checkers never throw; broken
+/// invariants abort with a message, in the spirit of llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SUPPORT_ERROR_H
+#define COMPASS_SUPPORT_ERROR_H
+
+#include <string_view>
+
+namespace compass {
+
+/// Prints \p Msg to stderr and aborts. Never returns.
+[[noreturn]] void fatalError(std::string_view Msg);
+
+/// Marks a point in the code that must be unreachable if the program
+/// invariants hold. Aborts with \p Msg when reached.
+[[noreturn]] inline void unreachable(std::string_view Msg) {
+  fatalError(Msg);
+}
+
+} // namespace compass
+
+#endif // COMPASS_SUPPORT_ERROR_H

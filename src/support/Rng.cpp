@@ -1,0 +1,55 @@
+//===-- support/Rng.cpp - Deterministic pseudo-random numbers ------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace compass;
+
+uint64_t compass::splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t Sm = Seed;
+  for (auto &Word : S)
+    Word = splitMix64(Sm);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(S[1] * 5, 7) * 9;
+  uint64_t T = S[1] << 17;
+  S[2] ^= S[0];
+  S[3] ^= S[1];
+  S[1] ^= S[2];
+  S[0] ^= S[3];
+  S[2] ^= T;
+  S[3] = rotl(S[3], 45);
+  return Result;
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound > 0 && "below() requires a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+uint64_t Rng::range(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "range() requires Lo <= Hi");
+  return Lo + below(Hi - Lo + 1);
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den > 0 && "chance() requires a positive denominator");
+  return below(Den) < Num;
+}

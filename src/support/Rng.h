@@ -1,0 +1,63 @@
+//===-- support/Rng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (SplitMix64 seeding a xoshiro256**
+/// generator). Used by the random-exploration mode of the model checker and
+/// by workload generators in tests and benches. Determinism given a seed is
+/// a requirement: explored counterexamples must be replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SUPPORT_RNG_H
+#define COMPASS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace compass {
+
+/// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+uint64_t splitMix64(uint64_t &State);
+
+/// xoshiro256** pseudo-random generator with a 64-bit seed interface.
+///
+/// Satisfies the UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions if needed, but most callers use the bounded
+/// helpers below which avoid modulo bias for small bounds well enough for
+/// schedule sampling.
+class Rng {
+public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the full 256-bit state from a 64-bit seed.
+  void reseed(uint64_t Seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+
+  /// Returns the next 64 random bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound > 0.
+  uint64_t below(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi);
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+private:
+  uint64_t S[4];
+};
+
+} // namespace compass
+
+#endif // COMPASS_SUPPORT_RNG_H

@@ -1,0 +1,146 @@
+//===-- tests/EbrTest.cpp - Epoch-based reclamation tests -------------------===//
+//
+// Unit tests for the EBR domain and the EBR-backed Treiber stack: epochs
+// advance when readers quiesce, pinned readers block reclamation, and —
+// the property that distinguishes EBR from the deferred retire list —
+// memory is actually freed *while the structure is in use*.
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/Ebr.h"
+#include "native/TreiberStackEbr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+using namespace compass::native;
+
+namespace {
+
+struct Tracked : RetireHook {
+  static std::atomic<int> Live;
+  int Payload = 0;
+  Tracked() { Live.fetch_add(1, std::memory_order_relaxed); }
+  ~Tracked() { Live.fetch_sub(1, std::memory_order_relaxed); }
+};
+std::atomic<int> Tracked::Live{0};
+
+} // namespace
+
+TEST(EbrTest, RetiredNodesFreeAsEpochsTurn) {
+  Tracked::Live.store(0);
+  {
+    EbrDomain<Tracked> D;
+    EbrDomain<Tracked>::Participant P(D);
+    // No pinned readers: each retire can advance the epoch, so after a
+    // few retires the early ones must be gone.
+    for (int I = 0; I != 10; ++I)
+      D.retire(new Tracked());
+    EXPECT_GT(D.epoch(), 0u);
+    EXPECT_GT(D.freedApprox(), 0u);
+    EXPECT_LT(Tracked::Live.load(), 10);
+  }
+  // Destructor frees the rest.
+  EXPECT_EQ(Tracked::Live.load(), 0);
+}
+
+TEST(EbrTest, PinnedReaderBlocksAdvance) {
+  Tracked::Live.store(0);
+  EbrDomain<Tracked> D;
+  EbrDomain<Tracked>::Participant Writer(D);
+  EbrDomain<Tracked>::Participant Reader(D);
+
+  uint64_t E0 = D.epoch();
+  {
+    EbrDomain<Tracked>::Guard G(Reader);
+    // Retire while the reader is pinned at the current epoch: the epoch
+    // may advance at most... the reader announced the current epoch, so
+    // advance is allowed once, then blocked by the stale announcement.
+    for (int I = 0; I != 8; ++I)
+      D.retire(new Tracked());
+    EXPECT_LE(D.epoch(), E0 + 1)
+        << "a pinned reader must block repeated epoch advances";
+    EXPECT_GE(Tracked::Live.load(), 6)
+        << "nodes must not be freed from under a pinned reader";
+  }
+  // Reader unpinned: retiring now turns epochs freely.
+  for (int I = 0; I != 8; ++I)
+    D.retire(new Tracked());
+  EXPECT_GT(D.freedApprox(), 0u);
+}
+
+TEST(EbrTest, ParticipantSlotsRecycle) {
+  EbrDomain<Tracked> D;
+  for (int Round = 0; Round != 3; ++Round) {
+    std::vector<std::unique_ptr<EbrDomain<Tracked>::Participant>> Ps;
+    for (unsigned I = 0; I != EbrDomain<Tracked>::MaxParticipants; ++I)
+      Ps.push_back(
+          std::make_unique<EbrDomain<Tracked>::Participant>(D));
+    // All slots used; destroying them releases for the next round.
+  }
+  SUCCEED();
+}
+
+TEST(EbrTreiberTest, LifoSingleThread) {
+  TreiberStackEbr<uint64_t> S;
+  auto H = S.registerThread();
+  for (uint64_t I = 1; I <= 4; ++I)
+    S.push(H, I);
+  for (uint64_t I = 4; I >= 1; --I) {
+    auto V = S.pop(H);
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, I);
+  }
+  EXPECT_FALSE(S.pop(H).has_value());
+}
+
+TEST(EbrTreiberTest, FreesMemoryOnline) {
+  TreiberStackEbr<uint64_t> S;
+  auto H = S.registerThread();
+  for (uint64_t I = 0; I != 1000; ++I) {
+    S.push(H, I);
+    S.pop(H);
+  }
+  // The deferred-retire TreiberStack would have 1000 nodes pending here;
+  // EBR must have freed the bulk while running.
+  EXPECT_GT(S.nodesFreedOnline(), 900u);
+  EXPECT_LT(S.nodesPending(), 100u);
+  EXPECT_GT(S.epochsTurned(), 100u);
+}
+
+TEST(EbrTreiberTest, ConservationUnderContention) {
+  TreiberStackEbr<uint64_t> S;
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t PerThread = 2000;
+  std::vector<std::vector<uint64_t>> Got(Threads);
+
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != Threads; ++W)
+    Workers.emplace_back([&, W] {
+      auto H = S.registerThread();
+      for (uint64_t I = 1; I <= PerThread; ++I) {
+        S.push(H, uint64_t(W) * PerThread + I);
+        if (auto V = S.pop(H))
+          Got[W].push_back(*V);
+      }
+    });
+  for (auto &T : Workers)
+    T.join();
+
+  auto H = S.registerThread();
+  while (auto V = S.pop(H))
+    Got[0].push_back(*V);
+
+  std::map<uint64_t, int> Seen;
+  for (auto &Vs : Got)
+    for (uint64_t V : Vs)
+      ++Seen[V];
+  EXPECT_EQ(Seen.size(), uint64_t(Threads) * PerThread);
+  for (auto &[V, N] : Seen)
+    EXPECT_EQ(N, 1) << V;
+  EXPECT_GT(S.nodesFreedOnline(), 0u);
+}

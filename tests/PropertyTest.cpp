@@ -1,0 +1,269 @@
+//===-- tests/PropertyTest.cpp - Property-based sweeps ----------------------===//
+//
+// Randomized property tests (parameterized over seeds) for the framework's
+// algebraic cores: the view lattice, logical-view sets, machine invariants
+// under random operation soup, and the linearization search on generated
+// histories with known answers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/EventGraph.h"
+#include "rmc/Machine.h"
+#include "spec/Consistency.h"
+#include "spec/Linearization.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+using namespace compass;
+using namespace compass::rmc;
+
+namespace {
+
+View randomView(Rng &R, unsigned Locs, unsigned MaxTs) {
+  View V;
+  for (Loc L = 0; L != Locs; ++L)
+    if (R.chance(1, 2))
+      V.raise(L, static_cast<Timestamp>(R.range(0, MaxTs)));
+  return V;
+}
+
+IdSet randomSet(Rng &R, unsigned MaxId) {
+  IdSet S;
+  for (uint32_t I = 0; I != MaxId; ++I)
+    if (R.chance(1, 3))
+      S.insert(I);
+  return S;
+}
+
+} // namespace
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, ViewJoinLatticeLaws) {
+  Rng R(GetParam());
+  for (int Round = 0; Round != 50; ++Round) {
+    View A = randomView(R, 12, 20);
+    View B = randomView(R, 12, 20);
+    View C = randomView(R, 12, 20);
+
+    // Commutativity.
+    EXPECT_TRUE(join(A, B) == join(B, A));
+    // Associativity.
+    EXPECT_TRUE(join(join(A, B), C) == join(A, join(B, C)));
+    // Idempotence.
+    EXPECT_TRUE(join(A, A) == A);
+    // The join is an upper bound.
+    EXPECT_TRUE(A.includedIn(join(A, B)));
+    EXPECT_TRUE(B.includedIn(join(A, B)));
+    // It is the least one: any other upper bound includes it.
+    View U = join(join(A, B), randomView(R, 12, 20));
+    EXPECT_TRUE(join(A, B).includedIn(U));
+    // Inclusion is antisymmetric up to equality.
+    if (A.includedIn(B) && B.includedIn(A)) {
+      EXPECT_TRUE(A == B);
+    }
+  }
+}
+
+TEST_P(SeededProperty, IdSetLatticeLaws) {
+  Rng R(GetParam() + 1000);
+  for (int Round = 0; Round != 50; ++Round) {
+    IdSet A = randomSet(R, 150);
+    IdSet B = randomSet(R, 150);
+
+    IdSet AB = A;
+    AB.joinWith(B);
+    IdSet BA = B;
+    BA.joinWith(A);
+    EXPECT_TRUE(AB == BA);
+    EXPECT_TRUE(A.subsetOf(AB));
+    EXPECT_TRUE(B.subsetOf(AB));
+    EXPECT_EQ(AB.count() + 0u,
+              [&] {
+                unsigned N = 0;
+                for (uint32_t I = 0; I != 160; ++I)
+                  N += A.contains(I) || B.contains(I);
+                return N;
+              }());
+
+    // Insert/erase roundtrip on a fresh id.
+    uint32_t Fresh = 200 + static_cast<uint32_t>(R.below(100));
+    EXPECT_FALSE(A.contains(Fresh));
+    A.insert(Fresh);
+    EXPECT_TRUE(A.contains(Fresh));
+    A.erase(Fresh);
+    EXPECT_FALSE(A.contains(Fresh));
+  }
+}
+
+namespace {
+
+/// A ChoiceSource driving random machine operations.
+class RandomChoice final : public ChoiceSource {
+public:
+  explicit RandomChoice(uint64_t Seed) : R(Seed) {}
+  unsigned choose(unsigned Count, const char *) override {
+    return static_cast<unsigned>(R.below(Count));
+  }
+  Rng R;
+};
+
+} // namespace
+
+TEST_P(SeededProperty, MachineInvariantsUnderRandomSoup) {
+  RandomChoice C(GetParam() + 7);
+  Machine M(C);
+  constexpr unsigned Threads = 3, Locs = 4;
+  for (unsigned T = 0; T != Threads; ++T)
+    M.addThread();
+  Loc Base = M.alloc("soup", Locs);
+
+  Rng R(GetParam() + 99);
+  for (int Step = 0; Step != 400; ++Step) {
+    unsigned T = static_cast<unsigned>(R.below(Threads));
+    Loc L = Base + static_cast<Loc>(R.below(Locs));
+    MemOrder Orders[] = {MemOrder::Relaxed, MemOrder::Acquire,
+                         MemOrder::Release, MemOrder::AcqRel,
+                         MemOrder::SeqCst};
+    switch (R.below(5)) {
+    case 0:
+      M.load(T, L, R.chance(1, 2) ? MemOrder::Relaxed : MemOrder::Acquire);
+      break;
+    case 1:
+      M.store(T, L, R.below(100),
+              R.chance(1, 2) ? MemOrder::Relaxed : MemOrder::Release);
+      break;
+    case 2:
+      M.cas(T, L, R.below(100), R.below(100), Orders[3]);
+      break;
+    case 3:
+      M.fetchAdd(T, L, 1, Orders[static_cast<size_t>(R.below(5))]);
+      break;
+    case 4:
+      M.fence(T, Orders[1 + R.below(4)]);
+      break;
+    }
+
+    // Invariants: cur ⊑ acq per thread; histories dense; message views
+    // self-inclusive for atomic writes.
+    for (unsigned T2 = 0; T2 != Threads; ++T2) {
+      EXPECT_TRUE(M.threadCur(T2).Phys.includedIn(M.threadAcq(T2).Phys))
+          << "cur must be included in acq";
+    }
+    for (Loc L2 = Base; L2 != Base + Locs; ++L2) {
+      const Cell &Cell2 = M.memory().cell(L2);
+      for (size_t I = 0; I != Cell2.History.size(); ++I) {
+        EXPECT_EQ(Cell2.History[I].Ts, static_cast<Timestamp>(I));
+        if (I > 0) { // Init message aside, writes know themselves.
+          EXPECT_GE(Cell2.History[I].Know.Phys.get(L2), 0u);
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(M.raceDetected()) << M.raceMessage();
+}
+
+TEST_P(SeededProperty, GeneratedQueueHistoriesLinearizable) {
+  // Build a random *valid* sequential queue history as an event graph
+  // (single logical thread, program-order logical views): the search must
+  // find a witness. Then corrupt the last consume's value: it must not.
+  Rng R(GetParam() + 31);
+  graph::EventGraph G;
+  std::deque<Value> State;
+  std::vector<graph::EventId> Order;
+  Value NextV = 1;
+  IdSet SoFar;
+
+  for (int Op = 0; Op != 12; ++Op) {
+    graph::EventId Id = G.reserve();
+    graph::Event E;
+    E.ObjId = 0;
+    E.Thread = 0;
+    E.LogView = SoFar;
+    E.LogView.insert(Id);
+    if (State.empty() || R.chance(2, 3)) {
+      if (R.chance(1, 4)) {
+        E.Kind = graph::OpKind::DeqEmpty;
+        E.V1 = graph::EmptyVal;
+        if (!State.empty()) { // Only valid on empty state.
+          G.retract(Id);
+          continue;
+        }
+      } else {
+        E.Kind = graph::OpKind::Enq;
+        E.V1 = NextV++;
+        State.push_back(E.V1);
+      }
+    } else {
+      E.Kind = graph::OpKind::DeqOk;
+      E.V1 = State.front();
+      State.pop_front();
+    }
+    SoFar.insert(Id);
+    G.commit(Id, std::move(E));
+    Order.push_back(Id);
+  }
+
+  auto Res = spec::findLinearization(G, 0, spec::SeqSpec::Queue);
+  EXPECT_TRUE(Res.Found) << "valid sequential history must linearize";
+  EXPECT_EQ(Res.Order.size(), Order.size());
+
+  // Corrupt: append a dequeue of a value that was never enqueued.
+  graph::EventId Bad = G.reserve();
+  graph::Event E;
+  E.Kind = graph::OpKind::DeqOk;
+  E.V1 = 99'999;
+  E.ObjId = 0;
+  E.LogView = SoFar;
+  E.LogView.insert(Bad);
+  G.commit(Bad, std::move(E));
+  EXPECT_FALSE(spec::findLinearization(G, 0, spec::SeqSpec::Queue).Found);
+}
+
+TEST_P(SeededProperty, GeneratedDequeHistoriesLinearizable) {
+  // Same for the work-stealing deque semantics: interleave pushes, owner
+  // takes (back) and steals (front) against a model deque.
+  Rng R(GetParam() + 77);
+  graph::EventGraph G;
+  std::deque<Value> State;
+  Value NextV = 1;
+  IdSet SoFar;
+
+  for (int Op = 0; Op != 12; ++Op) {
+    graph::EventId Id = G.reserve();
+    graph::Event E;
+    E.ObjId = 0;
+    E.LogView = SoFar;
+    E.LogView.insert(Id);
+    unsigned Kind = static_cast<unsigned>(R.below(3));
+    if (State.empty() || Kind == 0) {
+      E.Kind = graph::OpKind::Push;
+      E.V1 = NextV++;
+      E.Thread = 0;
+      State.push_back(E.V1);
+    } else if (Kind == 1) {
+      E.Kind = graph::OpKind::PopOk;
+      E.V1 = State.back();
+      E.Thread = 0;
+      State.pop_back();
+    } else {
+      E.Kind = graph::OpKind::Steal;
+      E.V1 = State.front();
+      E.Thread = 1;
+      State.pop_front();
+    }
+    SoFar.insert(Id);
+    G.commit(Id, std::move(E));
+  }
+
+  auto Res = spec::findLinearization(G, 0, spec::SeqSpec::WsDeque);
+  EXPECT_TRUE(Res.Found);
+  auto Abs = spec::checkWsDequeAbsState(G, 0);
+  EXPECT_TRUE(Abs.ok()) << Abs.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

@@ -1,0 +1,54 @@
+//===-- tests/SimTestUtil.h - Shared helpers for exploration tests -*- C++ -*-===//
+
+#ifndef COMPASS_TESTS_SIMTESTUTIL_H
+#define COMPASS_TESTS_SIMTESTUTIL_H
+
+#include "lib/Container.h"
+#include "sim/Explorer.h"
+
+#include <vector>
+
+namespace compass::test {
+
+/// Enqueues each value of \p Vs in order.
+inline sim::Task<void> enqueuerThread(sim::Env &E, lib::SimQueue &Q,
+                                      std::vector<rmc::Value> Vs) {
+  for (rmc::Value V : Vs) {
+    auto T = Q.enqueue(E, V);
+    co_await T;
+  }
+}
+
+/// Dequeues \p N times (non-blocking), recording results (EmptyVal
+/// included).
+inline sim::Task<void> dequeuerThread(sim::Env &E, lib::SimQueue &Q,
+                                      unsigned N,
+                                      std::vector<rmc::Value> *Out) {
+  for (unsigned I = 0; I != N; ++I) {
+    auto T = Q.dequeue(E);
+    Out->push_back(co_await T);
+  }
+}
+
+/// Pushes each value of \p Vs in order.
+inline sim::Task<void> pusherThread(sim::Env &E, lib::SimStack &S,
+                                    std::vector<rmc::Value> Vs) {
+  for (rmc::Value V : Vs) {
+    auto T = S.push(E, V);
+    co_await T;
+  }
+}
+
+/// Pops \p N times (non-blocking), recording results.
+inline sim::Task<void> popperThread(sim::Env &E, lib::SimStack &S,
+                                    unsigned N,
+                                    std::vector<rmc::Value> *Out) {
+  for (unsigned I = 0; I != N; ++I) {
+    auto T = S.pop(E);
+    Out->push_back(co_await T);
+  }
+}
+
+} // namespace compass::test
+
+#endif // COMPASS_TESTS_SIMTESTUTIL_H

@@ -1,0 +1,122 @@
+//===-- tests/SupportTest.cpp - Unit tests for support utilities -----------===//
+
+#include "support/Choice.h"
+#include "support/IdSet.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace compass;
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull})
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.below(Bound), Bound);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 300; ++I) {
+    uint64_t V = R.range(5, 7);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 7u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 3u); // All three values hit.
+}
+
+TEST(RngTest, SplitMixAdvancesState) {
+  uint64_t S = 0;
+  uint64_t A = splitMix64(S);
+  uint64_t B = splitMix64(S);
+  EXPECT_NE(A, B);
+}
+
+TEST(IdSetTest, InsertContainsErase) {
+  IdSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(0));
+  S.insert(0);
+  S.insert(63);
+  S.insert(64);
+  S.insert(1000);
+  EXPECT_TRUE(S.contains(0));
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_TRUE(S.contains(1000));
+  EXPECT_FALSE(S.contains(65));
+  EXPECT_EQ(S.count(), 4u);
+  S.erase(64);
+  EXPECT_FALSE(S.contains(64));
+  EXPECT_EQ(S.count(), 3u);
+}
+
+TEST(IdSetTest, JoinIsUnion) {
+  IdSet A, B;
+  A.insert(1);
+  A.insert(100);
+  B.insert(2);
+  B.insert(100);
+  A.joinWith(B);
+  EXPECT_TRUE(A.contains(1));
+  EXPECT_TRUE(A.contains(2));
+  EXPECT_TRUE(A.contains(100));
+  EXPECT_EQ(A.count(), 3u);
+}
+
+TEST(IdSetTest, SubsetOrder) {
+  IdSet A, B;
+  A.insert(3);
+  B.insert(3);
+  B.insert(700);
+  EXPECT_TRUE(A.subsetOf(B));
+  EXPECT_FALSE(B.subsetOf(A));
+  EXPECT_TRUE(A.subsetOf(A));
+  IdSet Empty;
+  EXPECT_TRUE(Empty.subsetOf(A));
+}
+
+TEST(IdSetTest, EqualityIgnoresTrailingZeros) {
+  IdSet A, B;
+  A.insert(5);
+  B.insert(5);
+  B.insert(500);
+  B.erase(500); // Leaves zero words behind.
+  EXPECT_TRUE(A == B);
+}
+
+TEST(IdSetTest, ForEachAscending) {
+  IdSet S;
+  S.insert(9);
+  S.insert(2);
+  S.insert(200);
+  std::vector<uint32_t> Got = S.toVector();
+  ASSERT_EQ(Got.size(), 3u);
+  EXPECT_EQ(Got[0], 2u);
+  EXPECT_EQ(Got[1], 9u);
+  EXPECT_EQ(Got[2], 200u);
+}
+
+TEST(ChoiceTest, FirstChoicePicksZero) {
+  FirstChoice C;
+  EXPECT_EQ(C.choose(1, "t"), 0u);
+  EXPECT_EQ(C.choose(5, "t"), 0u);
+}
