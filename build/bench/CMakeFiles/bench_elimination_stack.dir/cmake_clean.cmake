@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elimination_stack.dir/bench_elimination_stack.cpp.o"
+  "CMakeFiles/bench_elimination_stack.dir/bench_elimination_stack.cpp.o.d"
+  "bench_elimination_stack"
+  "bench_elimination_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elimination_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mp_client.dir/bench_mp_client.cpp.o"
+  "CMakeFiles/bench_mp_client.dir/bench_mp_client.cpp.o.d"
+  "bench_mp_client"
+  "bench_mp_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mp_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

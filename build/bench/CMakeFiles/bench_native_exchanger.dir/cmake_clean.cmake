@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_exchanger.dir/bench_native_exchanger.cpp.o"
+  "CMakeFiles/bench_native_exchanger.dir/bench_native_exchanger.cpp.o.d"
+  "bench_native_exchanger"
+  "bench_native_exchanger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_exchanger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_queues.dir/bench_native_queues.cpp.o"
+  "CMakeFiles/bench_native_queues.dir/bench_native_queues.cpp.o.d"
+  "bench_native_queues"
+  "bench_native_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_stacks.dir/bench_native_stacks.cpp.o"
+  "CMakeFiles/bench_native_stacks.dir/bench_native_stacks.cpp.o.d"
+  "bench_native_stacks"
+  "bench_native_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spsc.dir/bench_spsc.cpp.o"
+  "CMakeFiles/bench_spsc.dir/bench_spsc.cpp.o.d"
+  "bench_spsc"
+  "bench_spsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

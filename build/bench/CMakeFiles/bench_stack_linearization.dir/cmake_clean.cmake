@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack_linearization.dir/bench_stack_linearization.cpp.o"
+  "CMakeFiles/bench_stack_linearization.dir/bench_stack_linearization.cpp.o.d"
+  "bench_stack_linearization"
+  "bench_stack_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

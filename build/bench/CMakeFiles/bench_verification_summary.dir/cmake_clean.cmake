@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verification_summary.dir/bench_verification_summary.cpp.o"
+  "CMakeFiles/bench_verification_summary.dir/bench_verification_summary.cpp.o.d"
+  "bench_verification_summary"
+  "bench_verification_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verification_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

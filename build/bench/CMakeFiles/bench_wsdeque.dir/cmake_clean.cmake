@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wsdeque.dir/bench_wsdeque.cpp.o"
+  "CMakeFiles/bench_wsdeque.dir/bench_wsdeque.cpp.o.d"
+  "bench_wsdeque"
+  "bench_wsdeque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wsdeque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

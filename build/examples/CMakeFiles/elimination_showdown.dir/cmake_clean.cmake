@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elimination_showdown.dir/elimination_showdown.cpp.o"
+  "CMakeFiles/elimination_showdown.dir/elimination_showdown.cpp.o.d"
+  "elimination_showdown"
+  "elimination_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elimination_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_messaging.dir/mp_messaging.cpp.o"
+  "CMakeFiles/mp_messaging.dir/mp_messaging.cpp.o.d"
+  "mp_messaging"
+  "mp_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsc_pipeline.dir/spsc_pipeline.cpp.o"
+  "CMakeFiles/spsc_pipeline.dir/spsc_pipeline.cpp.o.d"
+  "spsc_pipeline"
+  "spsc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

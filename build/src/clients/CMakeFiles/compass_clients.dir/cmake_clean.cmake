@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_clients.dir/MpClient.cpp.o"
+  "CMakeFiles/compass_clients.dir/MpClient.cpp.o.d"
+  "CMakeFiles/compass_clients.dir/Pipeline.cpp.o"
+  "CMakeFiles/compass_clients.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/compass_clients.dir/ResourceExchange.cpp.o"
+  "CMakeFiles/compass_clients.dir/ResourceExchange.cpp.o.d"
+  "CMakeFiles/compass_clients.dir/Spsc.cpp.o"
+  "CMakeFiles/compass_clients.dir/Spsc.cpp.o.d"
+  "libcompass_clients.a"
+  "libcompass_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_graph.dir/Event.cpp.o"
+  "CMakeFiles/compass_graph.dir/Event.cpp.o.d"
+  "CMakeFiles/compass_graph.dir/EventGraph.cpp.o"
+  "CMakeFiles/compass_graph.dir/EventGraph.cpp.o.d"
+  "libcompass_graph.a"
+  "libcompass_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

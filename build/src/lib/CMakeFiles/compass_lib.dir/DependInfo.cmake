@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lib/Container.cpp" "src/lib/CMakeFiles/compass_lib.dir/Container.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/Container.cpp.o.d"
+  "/root/repo/src/lib/ElimStack.cpp" "src/lib/CMakeFiles/compass_lib.dir/ElimStack.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/ElimStack.cpp.o.d"
+  "/root/repo/src/lib/Exchanger.cpp" "src/lib/CMakeFiles/compass_lib.dir/Exchanger.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/Exchanger.cpp.o.d"
+  "/root/repo/src/lib/HwQueue.cpp" "src/lib/CMakeFiles/compass_lib.dir/HwQueue.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/HwQueue.cpp.o.d"
+  "/root/repo/src/lib/Locked.cpp" "src/lib/CMakeFiles/compass_lib.dir/Locked.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/Locked.cpp.o.d"
+  "/root/repo/src/lib/MsQueue.cpp" "src/lib/CMakeFiles/compass_lib.dir/MsQueue.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/MsQueue.cpp.o.d"
+  "/root/repo/src/lib/SpscRing.cpp" "src/lib/CMakeFiles/compass_lib.dir/SpscRing.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/SpscRing.cpp.o.d"
+  "/root/repo/src/lib/TreiberStack.cpp" "src/lib/CMakeFiles/compass_lib.dir/TreiberStack.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/TreiberStack.cpp.o.d"
+  "/root/repo/src/lib/WsDeque.cpp" "src/lib/CMakeFiles/compass_lib.dir/WsDeque.cpp.o" "gcc" "src/lib/CMakeFiles/compass_lib.dir/WsDeque.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/compass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/compass_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/compass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmc/CMakeFiles/compass_rmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/compass_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_lib.dir/Container.cpp.o"
+  "CMakeFiles/compass_lib.dir/Container.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/ElimStack.cpp.o"
+  "CMakeFiles/compass_lib.dir/ElimStack.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/Exchanger.cpp.o"
+  "CMakeFiles/compass_lib.dir/Exchanger.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/HwQueue.cpp.o"
+  "CMakeFiles/compass_lib.dir/HwQueue.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/Locked.cpp.o"
+  "CMakeFiles/compass_lib.dir/Locked.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/MsQueue.cpp.o"
+  "CMakeFiles/compass_lib.dir/MsQueue.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/SpscRing.cpp.o"
+  "CMakeFiles/compass_lib.dir/SpscRing.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/TreiberStack.cpp.o"
+  "CMakeFiles/compass_lib.dir/TreiberStack.cpp.o.d"
+  "CMakeFiles/compass_lib.dir/WsDeque.cpp.o"
+  "CMakeFiles/compass_lib.dir/WsDeque.cpp.o.d"
+  "libcompass_lib.a"
+  "libcompass_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/native/CMakeFiles/compass_native.dir/Native.cpp.o: \
+ /root/repo/src/native/Native.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_native.dir/Native.cpp.o"
+  "CMakeFiles/compass_native.dir/Native.cpp.o.d"
+  "libcompass_native.a"
+  "libcompass_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmc/Machine.cpp" "src/rmc/CMakeFiles/compass_rmc.dir/Machine.cpp.o" "gcc" "src/rmc/CMakeFiles/compass_rmc.dir/Machine.cpp.o.d"
+  "/root/repo/src/rmc/Memory.cpp" "src/rmc/CMakeFiles/compass_rmc.dir/Memory.cpp.o" "gcc" "src/rmc/CMakeFiles/compass_rmc.dir/Memory.cpp.o.d"
+  "/root/repo/src/rmc/View.cpp" "src/rmc/CMakeFiles/compass_rmc.dir/View.cpp.o" "gcc" "src/rmc/CMakeFiles/compass_rmc.dir/View.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/compass_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

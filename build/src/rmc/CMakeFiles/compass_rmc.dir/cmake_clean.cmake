@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_rmc.dir/Machine.cpp.o"
+  "CMakeFiles/compass_rmc.dir/Machine.cpp.o.d"
+  "CMakeFiles/compass_rmc.dir/Memory.cpp.o"
+  "CMakeFiles/compass_rmc.dir/Memory.cpp.o.d"
+  "CMakeFiles/compass_rmc.dir/View.cpp.o"
+  "CMakeFiles/compass_rmc.dir/View.cpp.o.d"
+  "libcompass_rmc.a"
+  "libcompass_rmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_rmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_sim.dir/Explorer.cpp.o"
+  "CMakeFiles/compass_sim.dir/Explorer.cpp.o.d"
+  "CMakeFiles/compass_sim.dir/Scheduler.cpp.o"
+  "CMakeFiles/compass_sim.dir/Scheduler.cpp.o.d"
+  "libcompass_sim.a"
+  "libcompass_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/Composition.cpp" "src/spec/CMakeFiles/compass_spec.dir/Composition.cpp.o" "gcc" "src/spec/CMakeFiles/compass_spec.dir/Composition.cpp.o.d"
+  "/root/repo/src/spec/Consistency.cpp" "src/spec/CMakeFiles/compass_spec.dir/Consistency.cpp.o" "gcc" "src/spec/CMakeFiles/compass_spec.dir/Consistency.cpp.o.d"
+  "/root/repo/src/spec/Linearization.cpp" "src/spec/CMakeFiles/compass_spec.dir/Linearization.cpp.o" "gcc" "src/spec/CMakeFiles/compass_spec.dir/Linearization.cpp.o.d"
+  "/root/repo/src/spec/SpecMonitor.cpp" "src/spec/CMakeFiles/compass_spec.dir/SpecMonitor.cpp.o" "gcc" "src/spec/CMakeFiles/compass_spec.dir/SpecMonitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/compass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmc/CMakeFiles/compass_rmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/compass_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

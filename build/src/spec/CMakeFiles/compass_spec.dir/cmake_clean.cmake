@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_spec.dir/Composition.cpp.o"
+  "CMakeFiles/compass_spec.dir/Composition.cpp.o.d"
+  "CMakeFiles/compass_spec.dir/Consistency.cpp.o"
+  "CMakeFiles/compass_spec.dir/Consistency.cpp.o.d"
+  "CMakeFiles/compass_spec.dir/Linearization.cpp.o"
+  "CMakeFiles/compass_spec.dir/Linearization.cpp.o.d"
+  "CMakeFiles/compass_spec.dir/SpecMonitor.cpp.o"
+  "CMakeFiles/compass_spec.dir/SpecMonitor.cpp.o.d"
+  "libcompass_spec.a"
+  "libcompass_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

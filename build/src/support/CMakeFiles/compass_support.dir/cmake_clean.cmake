@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_support.dir/Choice.cpp.o"
+  "CMakeFiles/compass_support.dir/Choice.cpp.o.d"
+  "CMakeFiles/compass_support.dir/Error.cpp.o"
+  "CMakeFiles/compass_support.dir/Error.cpp.o.d"
+  "CMakeFiles/compass_support.dir/Rng.cpp.o"
+  "CMakeFiles/compass_support.dir/Rng.cpp.o.d"
+  "libcompass_support.a"
+  "libcompass_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ClientTest.cpp" "tests/CMakeFiles/test_clients.dir/ClientTest.cpp.o" "gcc" "tests/CMakeFiles/test_clients.dir/ClientTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clients/CMakeFiles/compass_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/compass_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/compass_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/compass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/compass_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmc/CMakeFiles/compass_rmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/compass_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/compass_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clients.dir/ClientTest.cpp.o"
+  "CMakeFiles/test_clients.dir/ClientTest.cpp.o.d"
+  "test_clients"
+  "test_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

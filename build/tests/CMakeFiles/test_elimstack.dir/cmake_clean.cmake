@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elimstack.dir/ElimStackTest.cpp.o"
+  "CMakeFiles/test_elimstack.dir/ElimStackTest.cpp.o.d"
+  "test_elimstack"
+  "test_elimstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elimstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

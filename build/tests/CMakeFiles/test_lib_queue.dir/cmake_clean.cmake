@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lib_queue.dir/LibQueueTest.cpp.o"
+  "CMakeFiles/test_lib_queue.dir/LibQueueTest.cpp.o.d"
+  "test_lib_queue"
+  "test_lib_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lib_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

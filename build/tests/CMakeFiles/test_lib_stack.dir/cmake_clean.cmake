@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lib_stack.dir/LibStackTest.cpp.o"
+  "CMakeFiles/test_lib_stack.dir/LibStackTest.cpp.o.d"
+  "test_lib_stack"
+  "test_lib_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lib_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus_extra.dir/LitmusExtraTest.cpp.o"
+  "CMakeFiles/test_litmus_extra.dir/LitmusExtraTest.cpp.o.d"
+  "test_litmus_extra"
+  "test_litmus_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmc.dir/RmcTest.cpp.o"
+  "CMakeFiles/test_rmc.dir/RmcTest.cpp.o.d"
+  "test_rmc"
+  "test_rmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spsc_ring.dir/SpscRingTest.cpp.o"
+  "CMakeFiles/test_spsc_ring.dir/SpscRingTest.cpp.o.d"
+  "test_spsc_ring"
+  "test_spsc_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spsc_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsdeque.dir/WsDequeTest.cpp.o"
+  "CMakeFiles/test_wsdeque.dir/WsDequeTest.cpp.o.d"
+  "test_wsdeque"
+  "test_wsdeque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsdeque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
