@@ -3,17 +3,26 @@
 // Microbenchmarks of the verification framework itself — the analog of
 // reporting proof-checking effort: raw view-machine operation throughput
 // (with the logical-view piggyback that realizes the paper's SeenX ghost
-// state), and end-to-end model-checking throughput (executions/second of
+// state), end-to-end model-checking throughput (executions/second of
 // a two-thread Michael-Scott workload, including event-graph recording
-// and consistency checking).
+// and consistency checking), and — since the explorer is the framework's
+// performance ceiling — a parallel-scaling table over 1/2/4 workers for
+// the litmus and MS-queue workloads. Results are also dumped to
+// BENCH_simulator.json so the perf trajectory is tracked across PRs.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ExperimentUtil.h"
 #include "lib/MsQueue.h"
-#include "sim/Explorer.h"
+#include "sim/ParallelExplorer.h"
+#include "sim/Workload.h"
 #include "spec/Consistency.h"
+#include "support/Json.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <thread>
 
 using namespace compass;
 using namespace compass::rmc;
@@ -111,10 +120,181 @@ void bmExplorerExecution(benchmark::State &State) {
   State.SetLabel("model-checked executions (2-thread MS queue)");
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel-scaling table
+//===----------------------------------------------------------------------===//
+
+Task<void> sbThread(Env &E, Loc Mine, Loc Theirs) {
+  co_await E.store(Mine, 1, MemOrder::Relaxed);
+  co_await E.load(Theirs, MemOrder::Relaxed);
+}
+
+Task<void> mpWriterT(Env &E, Loc X, Loc F) {
+  co_await E.store(X, 1, MemOrder::Relaxed);
+  co_await E.store(F, 1, MemOrder::Release);
+}
+
+Task<void> mpReaderT(Env &E, Loc X, Loc F) {
+  co_await E.load(F, MemOrder::Acquire);
+  co_await E.load(X, MemOrder::Relaxed);
+}
+
+Workload sbWorkload(unsigned Workers) {
+  Explorer::Options Opts;
+  Opts.Workers = Workers;
+  return Workload(Opts, []() -> Workload::Body {
+    return {[](Machine &M, Scheduler &S) {
+              Loc X = M.alloc("x"), Y = M.alloc("y");
+              Env &E0 = S.newThread();
+              S.start(E0, sbThread(E0, X, Y));
+              Env &E1 = S.newThread();
+              S.start(E1, sbThread(E1, Y, X));
+            },
+            nullptr};
+  });
+}
+
+Workload mpWorkload(unsigned Workers) {
+  Explorer::Options Opts;
+  Opts.Workers = Workers;
+  return Workload(Opts, []() -> Workload::Body {
+    return {[](Machine &M, Scheduler &S) {
+              Loc X = M.alloc("x"), F = M.alloc("f");
+              Env &E0 = S.newThread();
+              S.start(E0, mpWriterT(E0, X, F));
+              Env &E1 = S.newThread();
+              S.start(E1, mpReaderT(E1, X, F));
+            },
+            nullptr};
+  });
+}
+
+/// The E2 MS-queue configuration (enq{1,2} + 2 dequeuers, preemption
+/// bound 2), checked against QueueConsistent every execution. The body
+/// factory gives each worker private monitor/queue state.
+Workload msQueueWorkload(unsigned Workers, uint64_t MaxExecutions) {
+  Explorer::Options Opts;
+  Opts.Workers = Workers;
+  Opts.PreemptionBound = 2;
+  Opts.MaxExecutions = MaxExecutions;
+  return Workload(Opts, []() -> Workload::Body {
+    struct State {
+      std::unique_ptr<spec::SpecMonitor> Mon;
+      std::unique_ptr<lib::MsQueue> Q;
+      std::vector<Value> Got0, Got1;
+    };
+    auto St = std::make_shared<State>();
+    return {[St](Machine &M, Scheduler &S) {
+              St->Mon = std::make_unique<spec::SpecMonitor>();
+              St->Q = std::make_unique<lib::MsQueue>(M, *St->Mon, "q");
+              St->Got0.clear();
+              St->Got1.clear();
+              Env &E0 = S.newThread();
+              S.start(E0, bench::enqueuer(E0, *St->Q, {1, 2}));
+              Env &E1 = S.newThread();
+              S.start(E1, bench::dequeuer(E1, *St->Q, 1, &St->Got0));
+              Env &E2 = S.newThread();
+              S.start(E2, bench::dequeuer(E2, *St->Q, 1, &St->Got1));
+            },
+            [St](Machine &, Scheduler &, Scheduler::RunResult R) {
+              if (R != Scheduler::RunResult::Done)
+                return true; // deadlocks/limits are counted, not violations
+              return spec::checkQueueConsistent(St->Mon->graph(),
+                                                St->Q->objId())
+                  .ok();
+            }};
+  });
+}
+
+struct ScaleRow {
+  std::string Name;
+  unsigned Workers;
+  Explorer::Summary Sum;
+  double Speedup;
+};
+
+std::string fmtF(double V, const char *Fmt = "%.0f") {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Fmt, V);
+  return Buf;
+}
+
+void runScaling(std::vector<ScaleRow> &Rows, const std::string &Name,
+                Workload (*Make)(unsigned)) {
+  double Base = 0;
+  for (unsigned W : {1u, 2u, 4u}) {
+    Explorer::Summary Sum = explore(Make(W));
+    if (W == 1)
+      Base = Sum.Perf.ExecsPerSec;
+    Rows.push_back({Name, W, Sum,
+                    Base > 0 ? Sum.Perf.ExecsPerSec / Base : 0.0});
+  }
+}
+
+void printScalingTable(const std::vector<ScaleRow> &Rows) {
+  std::printf("\nP4b: parallel exploration scaling (executions/second; "
+              "hardware threads available: %u)\n\n",
+              std::thread::hardware_concurrency());
+  bench::Table T({"workload", "workers", "executions", "exhausted",
+                  "execs/sec", "speedup", "peak frontier", "peak queue"});
+  for (const ScaleRow &R : Rows)
+    T.addRow({R.Name, bench::fmtU64(R.Workers),
+              bench::fmtU64(R.Sum.Executions),
+              R.Sum.Exhausted ? "yes" : "no",
+              fmtF(R.Sum.Perf.ExecsPerSec),
+              fmtF(R.Speedup, "%.2fx"),
+              bench::fmtU64(R.Sum.Perf.PeakFrontier),
+              bench::fmtU64(R.Sum.Perf.PeakQueue)});
+  T.print();
+}
+
+void writeJson(const std::vector<ScaleRow> &Rows) {
+  JsonWriter J;
+  J.beginObject();
+  J.field("experiment", "P4b parallel exploration scaling");
+  J.field("hardware_threads",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  J.key("rows");
+  J.beginArray();
+  for (const ScaleRow &R : Rows) {
+    J.beginObject();
+    J.field("workload", R.Name);
+    J.field("workers", R.Workers);
+    J.field("executions", R.Sum.Executions);
+    J.field("exhausted", R.Sum.Exhausted);
+    J.field("violations", R.Sum.Violations);
+    J.field("wall_seconds", R.Sum.Perf.WallSeconds);
+    J.field("execs_per_sec", R.Sum.Perf.ExecsPerSec);
+    J.field("speedup_vs_serial", R.Speedup);
+    J.field("max_depth", R.Sum.MaxDepth);
+    J.field("peak_frontier", R.Sum.Perf.PeakFrontier);
+    J.field("peak_queue", R.Sum.Perf.PeakQueue);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  std::ofstream Out("BENCH_simulator.json");
+  Out << J.str() << "\n";
+  std::printf("\nwrote BENCH_simulator.json\n");
+}
+
 } // namespace
 
 BENCHMARK(bmMachineRelAcq)->Iterations(200'000);
 BENCHMARK(bmMachineCas)->Iterations(200'000);
 BENCHMARK(bmExplorerExecution)->Iterations(3'000);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::vector<ScaleRow> Rows;
+  runScaling(Rows, "SB litmus", sbWorkload);
+  runScaling(Rows, "MP litmus", mpWorkload);
+  runScaling(Rows, "MS queue (E2, pb=2)", +[](unsigned W) {
+    return msQueueWorkload(W, 500'000);
+  });
+  printScalingTable(Rows);
+  writeJson(Rows);
+  return 0;
+}

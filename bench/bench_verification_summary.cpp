@@ -15,6 +15,7 @@
 #include "spec/Composition.h"
 #include "spec/Consistency.h"
 #include "spec/Linearization.h"
+#include "support/Json.h"
 
 #include <filesystem>
 #include <fstream>
@@ -33,6 +34,7 @@ struct VerifyRow {
   uint64_t Executions = 0;
   uint64_t Events = 0;
   uint64_t Violations = 0;
+  Explorer::Summary Sum; // full exploration summary (for the JSON dump)
 };
 
 /// Standard contended workload: one producing thread with two values, two
@@ -60,7 +62,35 @@ VerifyRow verify(std::string Library, std::string Spec, SetupT Setup,
         Row.Events += Events;
       });
   Row.Executions = Sum.Executions;
+  Row.Sum = std::move(Sum);
   return Row;
+}
+
+/// Dumps the per-row results (including the full exploration summaries with
+/// per-tag choice-point statistics) to BENCH_verification_summary.json so
+/// the verification-effort trajectory is tracked across PRs.
+void writeJson(const std::vector<VerifyRow> &Rows) {
+  JsonWriter J;
+  J.beginObject();
+  J.field("experiment", "E7 verification summary");
+  J.key("rows");
+  J.beginArray();
+  for (const VerifyRow &R : Rows) {
+    J.beginObject();
+    J.field("library", R.Library);
+    J.field("spec", R.Spec);
+    J.field("executions", R.Executions);
+    J.field("events_checked", R.Events);
+    J.field("violations", R.Violations);
+    J.key("exploration");
+    J.raw(R.Sum.json());
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  std::ofstream Out("BENCH_verification_summary.json");
+  Out << J.str() << "\n";
+  std::printf("\nwrote BENCH_verification_summary.json\n");
 }
 
 uint64_t countLines(const std::filesystem::path &Dir) {
@@ -257,6 +287,8 @@ int main() {
     L.addRow({Dir, Role, fmtU64(countLines(Root / Dir))});
   L.print();
 #endif
+
+  writeJson(Rows);
 
   std::printf("\n%s\n", AllOk ? "ALL VERIFICATIONS PASS."
                               : "DEVIATIONS FOUND!");

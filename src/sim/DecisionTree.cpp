@@ -1,0 +1,107 @@
+//===-- sim/DecisionTree.cpp - DFS frontier over decision sequences -------===//
+
+#include "sim/DecisionTree.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace compass;
+using namespace compass::sim;
+
+DecisionTree::DecisionTree(Prefix Seed)
+    : Trace(std::move(Seed)), SeedLen(Trace.size()) {
+#ifndef NDEBUG
+  for (const Decision &D : Trace) {
+    assert(D.Chosen < D.Count && "seed decision out of range");
+    assert(D.Limit == D.Chosen + 1 && "seed decisions must be pinned");
+  }
+#endif
+}
+
+unsigned DecisionTree::next(unsigned Count, const char *Tag) {
+  assert(Count >= 1 && "choice with no alternatives");
+  if (Pos < Trace.size()) {
+    // Replaying the backtracked prefix; the program must be deterministic
+    // given the decision sequence.
+    if (Trace[Pos].Count != Count)
+      fatalError("nondeterministic replay: decision arity changed");
+    return Trace[Pos++].Chosen;
+  }
+  Trace.push_back({0, Count, Count, Tag});
+  ++Pos;
+  return 0;
+}
+
+bool DecisionTree::advance() {
+  assert(Pos == Trace.size() && "execution ended mid-replay");
+  // Depth-first backtracking: advance the deepest decision that still has
+  // an untried alternative this tree owns, discarding everything below it.
+  // Seed decisions are pinned (Limit == Chosen + 1), so the loop never
+  // advances past the seed prefix.
+  while (Trace.size() > SeedLen) {
+    Decision &D = Trace.back();
+    if (D.Chosen + 1 < D.Limit) {
+      ++D.Chosen;
+      return true;
+    }
+    Trace.pop_back();
+  }
+  Exhausted = true;
+  return false;
+}
+
+std::vector<unsigned> DecisionTree::decisions() const {
+  std::vector<unsigned> Out;
+  Out.reserve(Trace.size());
+  for (const Decision &D : Trace)
+    Out.push_back(D.Chosen);
+  return Out;
+}
+
+uint64_t DecisionTree::frontierSize() const {
+  uint64_t N = 0;
+  for (const Decision &D : Trace)
+    N += D.Limit - D.Chosen - 1;
+  return N;
+}
+
+bool DecisionTree::splittable() const {
+  if (Exhausted)
+    return false;
+  for (size_t I = SeedLen, E = Trace.size(); I != E; ++I)
+    if (Trace[I].Chosen + 1 < Trace[I].Limit)
+      return true;
+  return false;
+}
+
+std::vector<DecisionTree::Prefix> DecisionTree::split(size_t MaxDonations) {
+  std::vector<Prefix> Out;
+  if (Exhausted || MaxDonations == 0)
+    return Out;
+  // Find the shallowest open choice point: donating there hands off the
+  // largest subtrees, which keeps the shared queue coarse-grained.
+  for (size_t I = SeedLen, E = Trace.size(); I != E; ++I) {
+    Decision &D = Trace[I];
+    unsigned Open = D.Limit - D.Chosen - 1;
+    if (Open == 0)
+      continue;
+    unsigned Donate =
+        static_cast<unsigned>(std::min<size_t>(Open, MaxDonations));
+    // Donate the *highest* alternatives so the donor's remaining range
+    // [Chosen, Limit) stays contiguous.
+    for (unsigned A = D.Limit - Donate; A != D.Limit; ++A) {
+      Prefix P(Trace.begin(), Trace.begin() + I + 1);
+      // Pin every decision of the donated prefix: the recipient owns
+      // exactly the subtree below it.
+      for (Decision &Pd : P)
+        Pd.Limit = Pd.Chosen + 1;
+      P.back().Chosen = A;
+      P.back().Limit = A + 1;
+      Out.push_back(std::move(P));
+    }
+    D.Limit -= Donate;
+    return Out;
+  }
+  return Out;
+}

@@ -1,0 +1,112 @@
+//===-- sim/DecisionTree.h - DFS frontier over decision sequences -*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pure search-state half of the model checker: a depth-first frontier
+/// over the tree formed by every nondeterministic decision of an execution.
+/// It owns no I/O and drives no machine — it only answers "which alternative
+/// next?" (replaying a backtracked prefix, then extending with first-choice
+/// defaults), backtracks between executions, and can *split* its frontier
+/// into independently explorable subtree prefixes for work sharing between
+/// parallel workers.
+///
+/// A tree may be *seeded* with a fixed prefix of decisions: the prefix is
+/// replayed at the start of every execution and is never backtracked past,
+/// so a seeded tree enumerates exactly the subtree rooted at that prefix.
+/// Splitting donates the untried alternatives of the shallowest still-open
+/// choice point as seeded prefixes; the donor keeps the alternatives below.
+/// Together these give the invariant the parallel explorer relies on: the
+/// set of decision sequences enumerated by a tree equals the disjoint union
+/// of the sequences enumerated after any series of splits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SIM_DECISIONTREE_H
+#define COMPASS_SIM_DECISIONTREE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compass::sim {
+
+/// Depth-first frontier over the decision tree of a bounded program.
+class DecisionTree {
+public:
+  /// One node on the current path.
+  struct Decision {
+    unsigned Chosen; ///< Alternative taken on the current path.
+    unsigned Limit;  ///< Exclusive bound of alternatives this tree owns.
+    unsigned Count;  ///< Total arity observed at this choice point.
+    const char *Tag; ///< Static name of the decision kind ("sched", ...).
+  };
+
+  /// An unexplored subtree, produced by split(): a decision prefix that a
+  /// fresh DecisionTree can be seeded with.
+  using Prefix = std::vector<Decision>;
+
+  DecisionTree() = default;
+
+  /// Seeds the tree with a fixed \p Seed prefix; enumeration covers exactly
+  /// the subtree below it.
+  explicit DecisionTree(Prefix Seed);
+
+  /// Resets the replay cursor; call before each execution.
+  void beginExecution() { Pos = 0; }
+
+  /// Resolves the next decision of the current execution: replays the
+  /// backtracked prefix (enforcing that \p Count matches the recorded
+  /// arity), then extends the path with alternative 0.
+  unsigned next(unsigned Count, const char *Tag);
+
+  /// True while the replay cursor is inside the recorded path (the program
+  /// is deterministic up to here).
+  bool replaying() const { return Pos < Trace.size(); }
+
+  /// Backtracks after a finished execution: advances the deepest decision
+  /// with an untried alternative, discarding everything below it. Returns
+  /// false when the (sub)tree is exhausted.
+  bool advance();
+
+  bool exhausted() const { return Exhausted; }
+
+  /// Depth of the current path (including any seed prefix).
+  size_t depth() const { return Trace.size(); }
+
+  /// Length of the immutable seed prefix.
+  size_t seedLength() const { return SeedLen; }
+
+  const std::vector<Decision> &trace() const { return Trace; }
+
+  /// The decision sequence of the current path, as plain indices.
+  std::vector<unsigned> decisions() const;
+
+  /// Number of untried alternatives hanging off the current path — the DFS
+  /// frontier size.
+  uint64_t frontierSize() const;
+
+  /// True if split() would produce at least one donation.
+  bool splittable() const;
+
+  /// Donates up to \p MaxDonations untried alternatives from the
+  /// *shallowest* open choice point (largest subtrees first, preserving
+  /// load balance), removing them from this tree's frontier. Each returned
+  /// prefix seeds a DecisionTree that enumerates a disjoint subtree. Must
+  /// only be called between executions (after advance(), before the next
+  /// beginExecution()).
+  std::vector<Prefix> split(size_t MaxDonations);
+
+private:
+  std::vector<Decision> Trace;
+  size_t Pos = 0;
+  size_t SeedLen = 0;
+  bool Exhausted = false;
+};
+
+} // namespace compass::sim
+
+#endif // COMPASS_SIM_DECISIONTREE_H

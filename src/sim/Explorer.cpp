@@ -3,51 +3,115 @@
 #include "sim/Explorer.h"
 
 #include "support/Error.h"
+#include "support/Json.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstring>
 
 using namespace compass;
 using namespace compass::sim;
 
-Explorer::Explorer(Options O) : Opts(O), Rand(O.Seed) {}
+Explorer::Explorer(Options O)
+    : Opts(O), Rand(O.Seed), Start(std::chrono::steady_clock::now()),
+      LastProgress(Start) {}
 
 Explorer::Explorer() : Explorer(Options{}) {}
 
+Explorer::Explorer(Options O, DecisionTree::Prefix Seed)
+    : Opts(O), Tree(std::move(Seed)), Rand(O.Seed),
+      Start(std::chrono::steady_clock::now()), LastProgress(Start) {}
+
+bool Explorer::hasWork() const {
+  if (Opts.ExploreMode == Mode::Random)
+    return Sum.Executions < Opts.RandomRuns;
+  return HasWork && !Tree.exhausted() && Sum.Executions < Opts.MaxExecutions;
+}
+
 bool Explorer::beginExecution() {
   assert(!InExecution && "beginExecution without matching endExecution");
-  if (Opts.ExploreMode == Mode::Random) {
-    if (Sum.Executions >= Opts.RandomRuns)
-      return false;
-  } else {
-    if (TreeExhausted && !Trace.empty())
-      fatalError("explorer state corrupt");
-    if (TreeExhausted)
-      return false;
-    if (Sum.Executions >= Opts.MaxExecutions)
-      return false;
-  }
-  Pos = 0;
+  if (!hasWork())
+    return false;
+  if (Opts.ExploreMode == Mode::Random)
+    RandTrace.clear();
+  else
+    Tree.beginExecution();
   InExecution = true;
   return true;
 }
 
 unsigned Explorer::choose(unsigned Count, const char *Tag) {
-  (void)Tag;
   assert(InExecution && "choice outside an execution");
   assert(Count >= 1 && "choice with no alternatives");
-  if (Opts.ExploreMode == Mode::Random)
-    return static_cast<unsigned>(Rand.below(Count));
 
-  if (Pos < Trace.size()) {
-    // Replaying the backtracked prefix; the program must be deterministic
-    // given the decision sequence.
-    if (Trace[Pos].Count != Count)
-      fatalError("nondeterministic replay: decision arity changed");
-    return Trace[Pos++].Chosen;
+  // Per-tag statistics, keyed by pointer identity of the static string
+  // (merged by name into Summary.Tags). A linear scan beats hashing for the
+  // handful of distinct tags in play.
+  TagStat *Stat = nullptr;
+  for (auto &Entry : TagStats) {
+    if (Entry.first == Tag || std::strcmp(Entry.first, Tag) == 0) {
+      Stat = &Entry.second;
+      break;
+    }
   }
-  Trace.push_back({0, Count});
-  ++Pos;
-  return 0;
+  if (!Stat) {
+    TagStats.push_back({Tag, TagStat{}});
+    Stat = &TagStats.back().second;
+  }
+  ++Stat->Choices;
+  Stat->AltSum += Count;
+  Stat->MaxArity = std::max(Stat->MaxArity, Count);
+
+  if (Opts.ExploreMode == Mode::Random) {
+    // Record the decision even in random mode: a failing sampled run must
+    // be reproducible via replay() from currentDecisions().
+    unsigned Pick = static_cast<unsigned>(Rand.below(Count));
+    RandTrace.push_back({Pick, Count, Count, Tag});
+    return Pick;
+  }
+  return Tree.next(Count, Tag);
+}
+
+const std::vector<DecisionTree::Decision> &Explorer::currentTrace() const {
+  return Opts.ExploreMode == Mode::Random ? RandTrace : Tree.trace();
+}
+
+std::vector<unsigned> Explorer::currentDecisions() const {
+  const auto &Trace = currentTrace();
+  std::vector<unsigned> Out;
+  Out.reserve(Trace.size());
+  for (const DecisionTree::Decision &D : Trace)
+    Out.push_back(D.Chosen);
+  return Out;
+}
+
+namespace {
+
+bool traceLexLess(const std::vector<DecisionTree::Decision> &A,
+                  const std::vector<DecisionTree::Decision> &B) {
+  return std::lexicographical_compare(
+      A.begin(), A.end(), B.begin(), B.end(),
+      [](const DecisionTree::Decision &X, const DecisionTree::Decision &Y) {
+        return X.Chosen < Y.Chosen;
+      });
+}
+
+} // namespace
+
+void Explorer::recordCheck(bool Ok) {
+  assert(InExecution && "recordCheck outside an execution");
+  if (Ok)
+    return;
+  ++Sum.Violations;
+  const auto &Trace = currentTrace();
+  // Keep the lexicographically least violating trace: DFS visits decision
+  // sequences in lexicographic order, so this is exactly the first
+  // violation serial exploration encounters — worker-count independent.
+  if (!Sum.HasViolation || traceLexLess(Trace, Sum.FirstViolation)) {
+    Sum.HasViolation = true;
+    Sum.FirstViolation = Trace;
+  }
 }
 
 void Explorer::endExecution(Scheduler::RunResult R) {
@@ -72,31 +136,147 @@ void Explorer::endExecution(Scheduler::RunResult R) {
     break;
   }
 
-  if (Opts.ExploreMode == Mode::Random)
-    return;
+  Sum.MaxDepth = std::max<uint64_t>(Sum.MaxDepth, currentTrace().size());
 
-  if (Trace.size() > Sum.MaxDepth)
-    Sum.MaxDepth = Trace.size();
-  assert(Pos == Trace.size() && "execution ended mid-replay");
-
-  // Depth-first backtracking: advance the deepest decision that still has
-  // an untried alternative, discarding everything below it.
-  while (!Trace.empty() && Trace.back().Chosen + 1 >= Trace.back().Count)
-    Trace.pop_back();
-  if (Trace.empty()) {
-    TreeExhausted = true;
-    Sum.Exhausted = true;
-    return;
+  if (Opts.ExploreMode == Mode::Exhaustive) {
+    Sum.Perf.PeakFrontier =
+        std::max(Sum.Perf.PeakFrontier, Tree.frontierSize());
+    HasWork = Tree.advance();
+    if (!HasWork)
+      Sum.Exhausted = true;
   }
-  ++Trace.back().Chosen;
+
+  finalizePerf();
+
+  if (Opts.ProgressIntervalSec > 0) {
+    auto Now = std::chrono::steady_clock::now();
+    double Since =
+        std::chrono::duration<double>(Now - LastProgress).count();
+    if (Since >= Opts.ProgressIntervalSec) {
+      LastProgress = Now;
+      std::fprintf(stderr,
+                   "[explore] %llu execs, %.0f execs/s, depth<=%llu, "
+                   "frontier~%llu\n",
+                   static_cast<unsigned long long>(Sum.Executions),
+                   Sum.Perf.ExecsPerSec,
+                   static_cast<unsigned long long>(Sum.MaxDepth),
+                   static_cast<unsigned long long>(Tree.frontierSize()));
+    }
+  }
 }
 
-std::vector<unsigned> Explorer::currentDecisions() const {
+void Explorer::finalizePerf() {
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  Sum.Perf.WallSeconds = Wall;
+  Sum.Perf.ExecsPerSec =
+      Wall > 0 ? static_cast<double>(Sum.Executions) / Wall : 0.0;
+  Sum.Tags.clear();
+  for (const auto &[Tag, Stat] : TagStats) {
+    TagStat &Dst = Sum.Tags[Tag];
+    Dst.Choices += Stat.Choices;
+    Dst.AltSum += Stat.AltSum;
+    Dst.MaxArity = std::max(Dst.MaxArity, Stat.MaxArity);
+  }
+}
+
+bool Explorer::splittable() const {
+  return !InExecution && Opts.ExploreMode == Mode::Exhaustive &&
+         HasWork && Tree.splittable();
+}
+
+std::vector<DecisionTree::Prefix> Explorer::split(size_t MaxDonations) {
+  assert(!InExecution && "split mid-execution");
+  return Tree.split(MaxDonations);
+}
+
+std::string
+Explorer::formatTrace(const std::vector<DecisionTree::Decision> &Trace) {
+  std::string Out;
+  if (Trace.empty())
+    return "<empty decision trace>\n";
+  for (size_t I = 0, E = Trace.size(); I != E; ++I) {
+    const DecisionTree::Decision &D = Trace[I];
+    Out += "#" + std::to_string(I) + " ";
+    Out += D.Tag ? D.Tag : "?";
+    Out += " (" + std::to_string(D.Count) + " alts) -> " +
+           std::to_string(D.Chosen) + "\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Summary
+//===----------------------------------------------------------------------===//
+
+std::vector<unsigned> Explorer::Summary::firstViolationDecisions() const {
   std::vector<unsigned> Out;
-  Out.reserve(Trace.size());
-  for (const Decision &D : Trace)
+  Out.reserve(FirstViolation.size());
+  for (const DecisionTree::Decision &D : FirstViolation)
     Out.push_back(D.Chosen);
   return Out;
+}
+
+bool Explorer::Summary::coreEquals(const Summary &O) const {
+  auto SameTrace = [](const std::vector<DecisionTree::Decision> &A,
+                      const std::vector<DecisionTree::Decision> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0, E = A.size(); I != E; ++I) {
+      if (A[I].Chosen != B[I].Chosen || A[I].Count != B[I].Count)
+        return false;
+      const char *Ta = A[I].Tag ? A[I].Tag : "";
+      const char *Tb = B[I].Tag ? B[I].Tag : "";
+      if (std::strcmp(Ta, Tb) != 0)
+        return false;
+    }
+    return true;
+  };
+  auto SameTags = [](const std::map<std::string, TagStat> &A,
+                     const std::map<std::string, TagStat> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (auto ItA = A.begin(), ItB = B.begin(); ItA != A.end();
+         ++ItA, ++ItB) {
+      if (ItA->first != ItB->first ||
+          ItA->second.Choices != ItB->second.Choices ||
+          ItA->second.AltSum != ItB->second.AltSum ||
+          ItA->second.MaxArity != ItB->second.MaxArity)
+        return false;
+    }
+    return true;
+  };
+  return Executions == O.Executions && Completed == O.Completed &&
+         Deadlocks == O.Deadlocks && Races == O.Races &&
+         Diverged == O.Diverged && Pruned == O.Pruned &&
+         Violations == O.Violations && Exhausted == O.Exhausted &&
+         MaxDepth == O.MaxDepth && HasViolation == O.HasViolation &&
+         SameTrace(FirstViolation, O.FirstViolation) &&
+         SameTags(Tags, O.Tags);
+}
+
+void Explorer::Summary::mergeCore(const Summary &O) {
+  Executions += O.Executions;
+  Completed += O.Completed;
+  Deadlocks += O.Deadlocks;
+  Races += O.Races;
+  Diverged += O.Diverged;
+  Pruned += O.Pruned;
+  Violations += O.Violations;
+  Exhausted = Exhausted && O.Exhausted;
+  MaxDepth = std::max(MaxDepth, O.MaxDepth);
+  if (O.HasViolation &&
+      (!HasViolation || traceLexLess(O.FirstViolation, FirstViolation))) {
+    HasViolation = true;
+    FirstViolation = O.FirstViolation;
+  }
+  for (const auto &[Name, Stat] : O.Tags) {
+    TagStat &Dst = Tags[Name];
+    Dst.Choices += Stat.Choices;
+    Dst.AltSum += Stat.AltSum;
+    Dst.MaxArity = std::max(Dst.MaxArity, Stat.MaxArity);
+  }
 }
 
 std::string Explorer::Summary::str() const {
@@ -107,6 +287,46 @@ std::string Explorer::Summary::str() const {
   Out += " races=" + std::to_string(Races);
   Out += " diverged=" + std::to_string(Diverged);
   Out += " pruned=" + std::to_string(Pruned);
+  Out += " violations=" + std::to_string(Violations);
   Out += Exhausted ? " (exhaustive)" : " (truncated)";
   return Out;
+}
+
+std::string Explorer::Summary::json() const {
+  JsonWriter J;
+  J.beginObject();
+  J.field("executions", Executions);
+  J.field("completed", Completed);
+  J.field("deadlocks", Deadlocks);
+  J.field("races", Races);
+  J.field("diverged", Diverged);
+  J.field("pruned", Pruned);
+  J.field("violations", Violations);
+  J.field("exhausted", Exhausted);
+  J.field("max_depth", MaxDepth);
+  J.field("wall_seconds", Perf.WallSeconds);
+  J.field("execs_per_sec", Perf.ExecsPerSec);
+  J.field("peak_frontier", Perf.PeakFrontier);
+  J.field("peak_queue", Perf.PeakQueue);
+  J.field("workers", Perf.Workers);
+  J.key("tags");
+  J.beginObject();
+  for (const auto &[Name, Stat] : Tags) {
+    J.key(Name);
+    J.beginObject();
+    J.field("choices", Stat.Choices);
+    J.field("alt_sum", Stat.AltSum);
+    J.field("max_arity", Stat.MaxArity);
+    J.field("avg_arity", Stat.avgArity());
+    J.endObject();
+  }
+  J.endObject();
+  J.key("first_violation");
+  J.beginArray();
+  if (HasViolation)
+    for (const DecisionTree::Decision &D : FirstViolation)
+      J.value(D.Chosen);
+  J.endArray();
+  J.endObject();
+  return J.str();
 }

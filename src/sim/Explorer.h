@@ -13,7 +13,21 @@
 /// sequences. This is the framework's replacement for the paper's deductive
 /// proofs: a property checked over *all* executions of a bounded workload.
 ///
-/// Usage:
+/// The exploration stack is layered:
+///  - DecisionTree (DecisionTree.h): the pure DFS frontier — trace
+///    bookkeeping, backtracking, subtree splitting. No I/O; unit-testable.
+///  - Explorer (this file): one search worker — binds a DecisionTree (or a
+///    random sampler) to the ChoiceSource interface the Machine/Scheduler
+///    consume, and accumulates the Summary (counters, per-tag choice
+///    statistics, throughput, first-violation trace).
+///  - Workload / explore / replay (Workload.h): a bounded program as a
+///    first-class value, the serial driver, and deterministic single-trace
+///    replay for counterexample reproduction.
+///  - ParallelExplorer (ParallelExplorer.h): N workers over a shared queue
+///    of unexplored subtree prefixes; its Summary's deterministic core is
+///    bit-identical to the serial explorer's regardless of worker count.
+///
+/// Usage (manual driving; prefer explore()/Workload for the common case):
 /// \code
 ///   Explorer Ex(Opts);
 ///   while (Ex.beginExecution()) {
@@ -21,7 +35,7 @@
 ///     Scheduler S(M, Ex);
 ///     ... allocate, create monitors, start threads ...
 ///     auto R = S.run(Ex.options().MaxStepsPerExec);
-///     ... per-execution checks ...
+///     Ex.recordCheck(/*Ok=*/...);   // optional: per-execution property
 ///     Ex.endExecution(R);
 ///   }
 /// \endcode
@@ -31,11 +45,14 @@
 #ifndef COMPASS_SIM_EXPLORER_H
 #define COMPASS_SIM_EXPLORER_H
 
+#include "sim/DecisionTree.h"
 #include "sim/Scheduler.h"
 #include "support/Choice.h"
 #include "support/Rng.h"
 
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -56,26 +73,96 @@ public:
     uint64_t Seed = 1;                  ///< Random-mode seed.
     uint64_t MaxStepsPerExec = 100'000; ///< Scheduler step budget.
     unsigned PreemptionBound = ~0u;     ///< Scheduler preemption budget.
+    unsigned Workers = 1;      ///< Worker threads; >1 selects the parallel
+                               ///< explorer in explore(Workload).
+    bool StopOnViolation = false; ///< Stop at the first failed check. Note:
+                                  ///< truncates the run, so counters are no
+                                  ///< longer worker-count independent.
+    double ProgressIntervalSec = 0; ///< >0: periodic stderr progress lines.
+  };
+
+  /// Per-tag statistics over the choice points of all explored executions.
+  /// Every choose() call (including replays of backtracked prefixes) is
+  /// counted, so totals are a worker-count-independent measure of search
+  /// effort per decision kind.
+  struct TagStat {
+    uint64_t Choices = 0; ///< choose() calls carrying this tag.
+    uint64_t AltSum = 0;  ///< Sum of arities over those calls.
+    unsigned MaxArity = 0;
+
+    double avgArity() const {
+      return Choices ? static_cast<double>(AltSum) / Choices : 0.0;
+    }
   };
 
   struct Summary {
+    // -- Deterministic core -------------------------------------------
+    // Identical for serial and parallel exploration of the same workload
+    // (any worker count), provided the run was not truncated by
+    // StopOnViolation. Compared by coreEquals().
     uint64_t Executions = 0; ///< Total runs performed.
     uint64_t Completed = 0;  ///< Runs where all threads finished.
     uint64_t Deadlocks = 0;
     uint64_t Races = 0;
-    uint64_t Diverged = 0;  ///< Runs cut off by the step budget.
-    uint64_t Pruned = 0;    ///< Stutter iterations cut by Env::prune.
-    bool Exhausted = false; ///< Whole tree covered (exhaustive mode).
-    uint64_t MaxDepth = 0;  ///< Deepest decision sequence seen.
+    uint64_t Diverged = 0;   ///< Runs cut off by the step budget.
+    uint64_t Pruned = 0;     ///< Stutter iterations cut by Env::prune.
+    uint64_t Violations = 0; ///< Executions whose check failed.
+    bool Exhausted = false;  ///< Whole tree covered (exhaustive mode).
+    uint64_t MaxDepth = 0;   ///< Deepest decision sequence seen.
+    bool HasViolation = false;
+    /// Decision trace of the lexicographically least violating execution —
+    /// which is exactly the first one serial DFS encounters. Feed its
+    /// decisions() to replay() to reproduce the failure.
+    std::vector<DecisionTree::Decision> FirstViolation;
+    /// Per-tag choice-point statistics, keyed by the Tag of choose().
+    std::map<std::string, TagStat> Tags;
+
+    // -- Observability (timing-dependent; excluded from coreEquals) ----
+    struct Perf {
+      double WallSeconds = 0;
+      double ExecsPerSec = 0;
+      uint64_t PeakFrontier = 0; ///< Largest DFS frontier seen (per worker).
+      uint64_t PeakQueue = 0;    ///< Largest shared work queue (parallel).
+      unsigned Workers = 1;
+    } Perf;
+
+    /// The first violation's decisions as plain indices (replay() input).
+    std::vector<unsigned> firstViolationDecisions() const;
+
+    /// True iff the deterministic cores match (all counters, Exhausted,
+    /// MaxDepth, tag stats, and the first-violation trace).
+    bool coreEquals(const Summary &O) const;
+
+    /// Folds \p O's deterministic core into this one (used by the parallel
+    /// explorer to aggregate per-worker summaries).
+    void mergeCore(const Summary &O);
 
     std::string str() const;
+
+    /// Machine-readable dump (single JSON object) of the full summary;
+    /// consumed by bench/bench_simulator and bench_verification_summary.
+    std::string json() const;
   };
 
   explicit Explorer(Options O);
   Explorer();
 
+  /// Constructs a worker explorer that enumerates exactly the subtree below
+  /// \p Seed (see DecisionTree splitting). Used by ParallelExplorer.
+  Explorer(Options O, DecisionTree::Prefix Seed);
+
   /// Prepares the next execution; false when exploration is finished.
   bool beginExecution();
+
+  /// True while beginExecution() would succeed (frontier nonempty and the
+  /// local budget not exhausted). Lets the parallel explorer consult the
+  /// global execution budget before committing to an execution.
+  bool hasWork() const;
+
+  /// Records the outcome of the current execution's property check. Call
+  /// between the scheduler run and endExecution(); without a call the
+  /// execution counts as passing.
+  void recordCheck(bool Ok);
 
   /// Reports the result of the current execution and backtracks.
   void endExecution(Scheduler::RunResult R);
@@ -86,28 +173,60 @@ public:
   const Summary &summary() const { return Sum; }
 
   /// The decision sequence of the current (or last) execution; useful for
-  /// reporting reproducible counterexamples.
+  /// reporting reproducible counterexamples. Recorded in both exhaustive
+  /// and random modes.
   std::vector<unsigned> currentDecisions() const;
 
-private:
-  struct Decision {
-    unsigned Chosen;
-    unsigned Count;
-  };
+  /// The current decision sequence with tags and arities.
+  const std::vector<DecisionTree::Decision> &currentTrace() const;
 
+  /// Pretty-prints the current decision sequence, one line per decision:
+  /// `#3 sched (4 alts) -> 2`.
+  std::string formatTrace() const { return formatTrace(currentTrace()); }
+
+  /// Pretty-prints \p Trace (e.g. a Summary's FirstViolation).
+  static std::string formatTrace(const std::vector<DecisionTree::Decision> &Trace);
+
+  // -- Work sharing (ParallelExplorer) --------------------------------
+
+  /// True if split() would donate at least one subtree. Only meaningful
+  /// between executions in exhaustive mode.
+  bool splittable() const;
+
+  /// Donates up to \p MaxDonations unexplored subtree prefixes from the
+  /// shallowest open choice point; see DecisionTree::split().
+  std::vector<DecisionTree::Prefix> split(size_t MaxDonations);
+
+private:
   Options Opts;
   Summary Sum;
-  std::vector<Decision> Trace;
-  size_t Pos = 0;
+  DecisionTree Tree;
+  /// Random-mode decision log (the DFS tree is unused in random mode, but
+  /// failures must still be replayable — see currentDecisions()).
+  std::vector<DecisionTree::Decision> RandTrace;
   bool InExecution = false;
-  bool TreeExhausted = false;
+  bool HasWork = true;
   Rng Rand;
+  /// Per-tag stats keyed by pointer identity of the static tag string
+  /// (folded into Summary.Tags by name on finalize). Linear scan: there are
+  /// only a handful of distinct tags ("sched", "load", "cas", ...).
+  std::vector<std::pair<const char *, TagStat>> TagStats;
+  std::chrono::steady_clock::time_point Start;
+  std::chrono::steady_clock::time_point LastProgress;
+
+  void finalizePerf();
 };
 
 /// Convenience driver: runs \p Setup then the scheduler for every explored
 /// execution, invoking \p Check afterwards. \p Setup receives the fresh
 /// machine and scheduler and must allocate state and start threads;
-/// \p Check receives them after the run together with the run result.
+/// \p Check receives them after the run together with the run result and
+/// may return void (informational) or bool (false = property violation,
+/// counted in Summary::Violations with the trace captured).
+///
+/// This template remains strictly serial; parallel exploration needs a
+/// Workload with a per-worker body factory (see Workload.h and
+/// ParallelExplorer.h).
 template <typename SetupT, typename CheckT>
 Explorer::Summary explore(Explorer::Options Opts, SetupT Setup,
                           CheckT Check) {
@@ -118,8 +237,16 @@ Explorer::Summary explore(Explorer::Options Opts, SetupT Setup,
     S.setPreemptionBound(Opts.PreemptionBound);
     Setup(M, S);
     Scheduler::RunResult R = S.run(Opts.MaxStepsPerExec);
-    Check(M, S, R);
-    Ex.endExecution(R);
+    if constexpr (std::is_same_v<decltype(Check(M, S, R)), bool>) {
+      bool Ok = Check(M, S, R);
+      Ex.recordCheck(Ok);
+      Ex.endExecution(R);
+      if (!Ok && Opts.StopOnViolation)
+        break;
+    } else {
+      Check(M, S, R);
+      Ex.endExecution(R);
+    }
   }
   return Ex.summary();
 }

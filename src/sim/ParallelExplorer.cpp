@@ -1,0 +1,206 @@
+//===-- sim/ParallelExplorer.cpp - Multi-worker DFS exploration -----------===//
+
+#include "sim/ParallelExplorer.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace compass;
+using namespace compass::sim;
+
+namespace {
+
+/// State shared by all workers of one parallel exploration.
+struct SharedState {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<DecisionTree::Prefix> Queue; // guarded by Mu
+  unsigned Busy = 0;                      // workers holding a subtree
+  bool Done = false;                      // no more work will appear
+  uint64_t PeakQueue = 0;
+
+  /// Global execution budget (Options::MaxExecutions), claimed one ticket
+  /// per execution so the parallel run performs exactly as many executions
+  /// as the serial one would.
+  std::atomic<uint64_t> Tickets{0};
+  /// Abort flag (StopOnViolation).
+  std::atomic<bool> Stop{false};
+  /// Number of workers currently starved; a positive value asks busy
+  /// workers to donate subtrees.
+  std::atomic<unsigned> Hungry{0};
+
+  bool pop(DecisionTree::Prefix &Out) {
+    std::unique_lock<std::mutex> L(Mu);
+    for (;;) {
+      if (Done)
+        return false;
+      if (Stop.load(std::memory_order_relaxed)) {
+        Done = true;
+        Cv.notify_all();
+        return false;
+      }
+      if (!Queue.empty()) {
+        Out = std::move(Queue.front());
+        Queue.pop_front();
+        ++Busy;
+        return true;
+      }
+      if (Busy == 0) {
+        // Queue empty and nobody can produce more work: terminate.
+        Done = true;
+        Cv.notify_all();
+        return false;
+      }
+      Hungry.fetch_add(1, std::memory_order_relaxed);
+      Cv.wait(L);
+      Hungry.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  void donate(std::vector<DecisionTree::Prefix> Prefixes) {
+    if (Prefixes.empty())
+      return;
+    std::lock_guard<std::mutex> L(Mu);
+    for (DecisionTree::Prefix &P : Prefixes)
+      Queue.push_back(std::move(P));
+    PeakQueue = std::max<uint64_t>(PeakQueue, Queue.size());
+    Cv.notify_all();
+  }
+
+  void finishSubtree() {
+    std::lock_guard<std::mutex> L(Mu);
+    --Busy;
+    Cv.notify_all();
+  }
+};
+
+} // namespace
+
+Explorer::Summary ParallelExplorer::run() {
+  const Explorer::Options &Opts = W.options();
+  if (Opts.ExploreMode == Explorer::Mode::Random)
+    return exploreSerial(W); // Sampling has no tree to partition.
+
+  unsigned N = std::max(1u, Opts.Workers);
+  auto Start = std::chrono::steady_clock::now();
+
+  SharedState Sh;
+  Sh.Queue.push_back(DecisionTree::Prefix{}); // the root subtree
+  Sh.PeakQueue = 1;
+
+  // Per-worker partial summaries, merged in worker order at the end (all
+  // core fields merge commutatively, so the order is immaterial — it just
+  // keeps the aggregation obviously deterministic).
+  std::vector<Explorer::Summary> Partials(N);
+  std::vector<uint64_t> PeakFrontiers(N, 0);
+
+  auto WorkerMain = [&](unsigned Wid) {
+    Workload::Body Body = W.makeBody();
+    Explorer::Options WOpts = Opts;
+    WOpts.MaxExecutions = ~0ull; // budget enforced via shared tickets
+    WOpts.ProgressIntervalSec = 0;
+
+    Explorer::Summary &Local = Partials[Wid];
+    Local.Exhausted = true; // AND-folded over the worker's subtrees
+
+    DecisionTree::Prefix Prefix;
+    while (Sh.pop(Prefix)) {
+      Explorer Ex(WOpts, std::move(Prefix));
+      for (;;) {
+        if (Sh.Stop.load(std::memory_order_relaxed))
+          break;
+        if (!Ex.hasWork())
+          break;
+        // Claim a budget ticket before committing to the execution so the
+        // global execution count matches the serial explorer's.
+        uint64_t T = Sh.Tickets.fetch_add(1, std::memory_order_relaxed);
+        if (T >= Opts.MaxExecutions)
+          break;
+        bool Began = Ex.beginExecution();
+        (void)Began;
+        assert(Began && "hasWork() promised an execution");
+
+        rmc::Machine M(Ex);
+        Scheduler S(M, Ex);
+        S.setPreemptionBound(Opts.PreemptionBound);
+        Body.Setup(M, S);
+        Scheduler::RunResult R = S.run(Opts.MaxStepsPerExec);
+        bool Ok = Body.Check ? Body.Check(M, S, R) : true;
+        Ex.recordCheck(Ok);
+        Ex.endExecution(R);
+        if (!Ok && Opts.StopOnViolation) {
+          Sh.Stop.store(true, std::memory_order_relaxed);
+          Sh.Cv.notify_all();
+          break;
+        }
+
+        // Work sharing: when other workers are starved, donate the
+        // shallowest untried alternatives (the largest subtrees).
+        unsigned Starved = Sh.Hungry.load(std::memory_order_relaxed);
+        if (Starved > 0 && Ex.splittable())
+          Sh.donate(Ex.split(Starved));
+      }
+      PeakFrontiers[Wid] =
+          std::max(PeakFrontiers[Wid], Ex.summary().Perf.PeakFrontier);
+      Local.mergeCore(Ex.summary()); // AND-folds the subtree's Exhausted bit
+      Sh.finishSubtree();
+    }
+  };
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back(WorkerMain, I);
+
+  // Optional progress reporting from the coordinating thread.
+  if (Opts.ProgressIntervalSec > 0) {
+    std::unique_lock<std::mutex> L(Sh.Mu);
+    while (!Sh.Done) {
+      Sh.Cv.wait_for(L, std::chrono::duration<double>(
+                            Opts.ProgressIntervalSec));
+      double Wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+      uint64_t Execs = Sh.Tickets.load(std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "[explore x%u] ~%llu execs, %.0f execs/s, queue=%zu, "
+                   "busy=%u\n",
+                   N, static_cast<unsigned long long>(Execs),
+                   Wall > 0 ? Execs / Wall : 0.0, Sh.Queue.size(), Sh.Busy);
+    }
+  }
+
+  for (std::thread &Th : Workers)
+    Th.join();
+
+  Explorer::Summary Agg;
+  Agg.Exhausted = true;
+  for (const Explorer::Summary &P : Partials)
+    Agg.mergeCore(P);
+
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  Agg.Perf.WallSeconds = Wall;
+  Agg.Perf.ExecsPerSec =
+      Wall > 0 ? static_cast<double>(Agg.Executions) / Wall : 0.0;
+  for (uint64_t Pf : PeakFrontiers)
+    Agg.Perf.PeakFrontier = std::max(Agg.Perf.PeakFrontier, Pf);
+  Agg.Perf.PeakQueue = Sh.PeakQueue;
+  Agg.Perf.Workers = N;
+  return Agg;
+}
+
+Explorer::Summary compass::sim::explore(const Workload &W) {
+  if (W.options().Workers > 1 &&
+      W.options().ExploreMode == Explorer::Mode::Exhaustive)
+    return ParallelExplorer(W).run();
+  return exploreSerial(W);
+}

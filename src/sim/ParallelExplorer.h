@@ -1,0 +1,67 @@
+//===-- sim/ParallelExplorer.h - Multi-worker DFS exploration ---*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel exhaustive exploration: N std::thread workers, each owning a
+/// private Machine/Scheduler/Explorer (and thus a private DecisionTree),
+/// fed from a shared work queue of unexplored subtree prefixes.
+///
+/// Protocol: the queue starts with the root (empty) prefix. A worker pops a
+/// prefix, seeds an Explorer with it, and DFS-enumerates that subtree —
+/// replaying the prefix at the start of every execution, exactly like the
+/// serial explorer replays its backtracked prefix. Whenever other workers
+/// are starved, the worker *donates* the untried alternatives of its
+/// shallowest open choice point back to the queue (DecisionTree::split) and
+/// keeps searching its own branch. Exploration terminates when the queue is
+/// empty and no worker holds a subtree.
+///
+/// Determinism guarantee: the donated prefixes partition the decision tree,
+/// every decision sequence is enumerated by exactly one worker, and every
+/// Summary field in the deterministic core is a sum / max / AND / lex-min
+/// over executions — so the aggregated Summary core is **bit-identical to
+/// the serial explorer's** for any worker count (provided the run is not
+/// truncated by StopOnViolation). The first violation surfaced is the
+/// lexicographically least violating decision sequence, which is exactly
+/// the one serial DFS finds first; reproduce it with
+/// replay(W, Summary::firstViolationDecisions()).
+///
+/// The global MaxExecutions budget is enforced with a shared atomic ticket
+/// counter, so the *number* of executions also matches the serial explorer
+/// when the budget truncates the search (the particular executions explored
+/// then depend on scheduling, and the remaining counters may differ).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SIM_PARALLELEXPLORER_H
+#define COMPASS_SIM_PARALLELEXPLORER_H
+
+#include "sim/Workload.h"
+
+namespace compass::sim {
+
+/// Runs a Workload under N worker threads; see file comment.
+class ParallelExplorer {
+public:
+  /// Worker count comes from W.options().Workers (values < 2 still run the
+  /// full parallel machinery with one worker; prefer exploreSerial then).
+  explicit ParallelExplorer(Workload W) : W(std::move(W)) {}
+
+  /// Explores the workload to completion and returns the aggregated
+  /// summary. Exhaustive mode only (random sampling has no tree to split);
+  /// random-mode workloads are routed to the serial explorer.
+  Explorer::Summary run();
+
+private:
+  Workload W;
+};
+
+/// Runs \p W under the serial explorer, or under ParallelExplorer when
+/// Options::Workers > 1 (exhaustive mode only).
+Explorer::Summary explore(const Workload &W);
+
+} // namespace compass::sim
+
+#endif // COMPASS_SIM_PARALLELEXPLORER_H

@@ -1,0 +1,174 @@
+//===-- sim/Workload.h - Bounded programs as first-class values -*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Workload bundles everything needed to model-check a bounded concurrent
+/// program — the setup closure that allocates state and starts threads, the
+/// per-execution property check, and the exploration options — into one
+/// re-runnable value. This makes three things first-class:
+///
+///  - exploreSerial(W) / explore(W): run the workload to completion under
+///    the serial or (Options::Workers > 1) parallel explorer;
+///  - replay(W, Decisions): deterministically re-execute ONE decision
+///    sequence — the counterexample-reproduction entry point. Feed it
+///    Summary::firstViolationDecisions() or Explorer::currentDecisions();
+///  - per-worker instantiation: a Workload built from a BodyFactory gives
+///    every parallel worker its own Setup/Check closures (and thus its own
+///    captured state), so existing single-threaded harness code parallelizes
+///    without locking.
+///
+/// The Check closure returns true when the execution satisfies the property;
+/// false increments Summary::Violations and records the decision trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SIM_WORKLOAD_H
+#define COMPASS_SIM_WORKLOAD_H
+
+#include "sim/Explorer.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace compass::sim {
+
+/// A bounded concurrent program plus exploration options; see file comment.
+class Workload {
+public:
+  using SetupFn = std::function<void(rmc::Machine &, Scheduler &)>;
+  /// Returns true when the execution satisfies the property.
+  using CheckFn =
+      std::function<bool(rmc::Machine &, Scheduler &, Scheduler::RunResult)>;
+
+  /// One instantiation of the program body. Parallel workers each hold
+  /// their own Body, so closures built by a factory may freely mutate the
+  /// state they capture.
+  struct Body {
+    SetupFn Setup;
+    CheckFn Check; ///< May be empty: every execution passes.
+  };
+
+  /// Produces a fresh Body; invoked once per worker.
+  using BodyFactory = std::function<Body()>;
+
+  /// A workload with a single shared body. Safe for serial exploration and
+  /// replay; for parallel exploration the closures must be thread-safe
+  /// (prefer the BodyFactory constructor).
+  Workload(Explorer::Options Opts, Body B)
+      : Opts(Opts), Shared(std::move(B)) {}
+
+  Workload(Explorer::Options Opts, SetupFn Setup, CheckFn Check = nullptr)
+      : Workload(Opts, Body{std::move(Setup), std::move(Check)}) {}
+
+  /// A workload whose body is instantiated per worker.
+  Workload(Explorer::Options Opts, BodyFactory F)
+      : Opts(Opts), Factory(std::move(F)) {}
+
+  Explorer::Options &options() { return Opts; }
+  const Explorer::Options &options() const { return Opts; }
+
+  /// Instantiates a body for one worker (or for serial/replay use).
+  Body makeBody() const { return Factory ? Factory() : Shared; }
+
+  bool hasFactory() const { return static_cast<bool>(Factory); }
+
+private:
+  Explorer::Options Opts;
+  Body Shared;
+  BodyFactory Factory;
+};
+
+/// Outcome of replaying one decision sequence.
+struct ReplayResult {
+  Scheduler::RunResult Run = Scheduler::RunResult::Done;
+  bool CheckOk = true; ///< Result of the workload's Check (true if none).
+  uint64_t Steps = 0;  ///< Scheduler steps taken.
+  bool Diverged = false; ///< The program requested decisions beyond the
+                         ///< supplied trace (nondeterministic replay).
+};
+
+namespace detail {
+
+/// ChoiceSource that replays a fixed decision sequence. Decisions past the
+/// end of the trace fall back to alternative 0 and set the divergence flag.
+class ReplayChoice final : public ChoiceSource {
+public:
+  explicit ReplayChoice(std::vector<unsigned> Decisions)
+      : Decisions(std::move(Decisions)) {}
+
+  unsigned choose(unsigned Count, const char *) override {
+    if (Pos >= Decisions.size()) {
+      DivergedPastEnd = true;
+      return 0;
+    }
+    unsigned Pick = Decisions[Pos++];
+    if (Pick >= Count) {
+      // The trace does not fit this program (arity shrank); clamp rather
+      // than crash so replays of slightly stale traces still run.
+      DivergedPastEnd = true;
+      Pick = Count - 1;
+    }
+    return Pick;
+  }
+
+  bool diverged() const { return DivergedPastEnd; }
+
+private:
+  std::vector<unsigned> Decisions;
+  size_t Pos = 0;
+  bool DivergedPastEnd = false;
+};
+
+} // namespace detail
+
+/// Deterministically re-executes the single decision sequence \p Decisions
+/// of \p W — the counterexample reproduction entry point. The sequence is
+/// the plain-index form produced by Explorer::currentDecisions() or
+/// Summary::firstViolationDecisions().
+inline ReplayResult replay(const Workload &W,
+                           const std::vector<unsigned> &Decisions) {
+  detail::ReplayChoice Choice(Decisions);
+  Workload::Body Body = W.makeBody();
+  rmc::Machine M(Choice);
+  Scheduler S(M, Choice);
+  S.setPreemptionBound(W.options().PreemptionBound);
+  Body.Setup(M, S);
+  ReplayResult Out;
+  Out.Run = S.run(W.options().MaxStepsPerExec);
+  Out.Steps = S.steps();
+  if (Body.Check)
+    Out.CheckOk = Body.Check(M, S, Out.Run);
+  Out.Diverged = Choice.diverged();
+  return Out;
+}
+
+/// Runs \p W to completion under the serial explorer.
+inline Explorer::Summary exploreSerial(const Workload &W) {
+  Explorer Ex(W.options());
+  Workload::Body Body = W.makeBody();
+  while (Ex.beginExecution()) {
+    rmc::Machine M(Ex);
+    Scheduler S(M, Ex);
+    S.setPreemptionBound(W.options().PreemptionBound);
+    Body.Setup(M, S);
+    Scheduler::RunResult R = S.run(W.options().MaxStepsPerExec);
+    bool Ok = Body.Check ? Body.Check(M, S, R) : true;
+    Ex.recordCheck(Ok);
+    Ex.endExecution(R);
+    if (!Ok && W.options().StopOnViolation)
+      break;
+  }
+  return Ex.summary();
+}
+
+/// Runs \p W under the serial explorer, or under ParallelExplorer when
+/// Options::Workers > 1. Defined in ParallelExplorer.cpp.
+Explorer::Summary explore(const Workload &W);
+
+} // namespace compass::sim
+
+#endif // COMPASS_SIM_WORKLOAD_H

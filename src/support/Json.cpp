@@ -1,0 +1,52 @@
+//===-- support/Json.cpp - Minimal JSON writer ----------------------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace compass;
+
+void JsonWriter::value(double V) {
+  comma();
+  if (!std::isfinite(V)) {
+    // JSON has no Inf/NaN; emit null so dumps stay parseable.
+    Out += "null";
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Out += Buf;
+}
+
+void JsonWriter::appendString(std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}

@@ -1,0 +1,114 @@
+//===-- support/Json.h - Minimal JSON writer -------------------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny append-only JSON writer used for machine-readable dumps of
+/// exploration summaries and benchmark tables (BENCH_*.json). It supports
+/// exactly what those need — objects, arrays, strings, integers, doubles,
+/// booleans — with deterministic field order (insertion order) so dumps are
+/// diffable across runs. No parsing, no external dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SUPPORT_JSON_H
+#define COMPASS_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace compass {
+
+/// Streaming JSON writer with explicit begin/end nesting.
+///
+/// \code
+///   JsonWriter J;
+///   J.beginObject();
+///   J.field("executions", 42u);
+///   J.key("tags"); J.beginObject(); ... J.endObject();
+///   J.endObject();
+///   std::string Out = J.str();
+/// \endcode
+class JsonWriter {
+public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  /// Emits an object key; must be followed by exactly one value.
+  void key(std::string_view K) {
+    comma();
+    appendString(K);
+    Out += ':';
+    JustWroteKey = true;
+  }
+
+  void value(std::string_view V) {
+    comma();
+    appendString(V);
+  }
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(bool V) {
+    comma();
+    Out += V ? "true" : "false";
+  }
+  void value(uint64_t V) {
+    comma();
+    Out += std::to_string(V);
+  }
+  void value(int64_t V) {
+    comma();
+    Out += std::to_string(V);
+  }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(double V);
+
+  /// key() + value() in one call.
+  template <typename T> void field(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  /// Embeds an already-serialized JSON value verbatim (e.g. the output of
+  /// another JsonWriter). The caller is responsible for its validity.
+  void raw(std::string_view Json) {
+    comma();
+    Out += Json;
+  }
+
+  const std::string &str() const { return Out; }
+
+private:
+  void open(char C) {
+    comma();
+    Out += C;
+    AtStart = true;
+  }
+  void close(char C) {
+    Out += C;
+    AtStart = false;
+  }
+  void comma() {
+    if (JustWroteKey) {
+      JustWroteKey = false;
+      return;
+    }
+    if (!AtStart && !Out.empty())
+      Out += ',';
+    AtStart = false;
+  }
+  void appendString(std::string_view S);
+
+  std::string Out;
+  bool AtStart = true;
+  bool JustWroteKey = false;
+};
+
+} // namespace compass
+
+#endif // COMPASS_SUPPORT_JSON_H

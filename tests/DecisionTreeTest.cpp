@@ -1,0 +1,235 @@
+//===-- tests/DecisionTreeTest.cpp - DFS frontier unit tests --------------===//
+//
+// Unit tests for the pure search-state half of the model checker: replay /
+// extend / backtrack bookkeeping, seeded subtree enumeration, and the
+// splitting invariant the parallel explorer relies on — the set of decision
+// sequences enumerated by a tree equals the disjoint union of the sequences
+// enumerated after any series of splits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DecisionTree.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+using namespace compass;
+using namespace compass::sim;
+
+namespace {
+
+/// A deterministic "program" for the tree to search: given the decisions
+/// taken so far, returns the arity of the next choice point, or 0 when the
+/// execution ends. This stands in for Machine+Scheduler.
+using Program = std::function<unsigned(const std::vector<unsigned> &)>;
+
+/// Runs one execution of \p P against \p T.
+void runOne(DecisionTree &T, const Program &P) {
+  T.beginExecution();
+  std::vector<unsigned> Path;
+  for (;;) {
+    unsigned Arity = P(Path);
+    if (Arity == 0)
+      break;
+    Path.push_back(T.next(Arity, "t"));
+  }
+}
+
+/// Enumerates every execution of \p P in tree \p T; returns the leaves in
+/// visit order.
+std::vector<std::vector<unsigned>> enumerate(DecisionTree T,
+                                             const Program &P) {
+  std::vector<std::vector<unsigned>> Leaves;
+  if (T.exhausted())
+    return Leaves;
+  for (;;) {
+    runOne(T, P);
+    Leaves.push_back(T.decisions());
+    if (!T.advance())
+      break;
+  }
+  EXPECT_TRUE(T.exhausted());
+  return Leaves;
+}
+
+/// Enumerates \p P while randomly splitting off subtrees, exploring the
+/// donated prefixes recursively. Collects all leaves (in scrambled order).
+void enumerateWithSplits(DecisionTree T, const Program &P, Rng &R,
+                         std::vector<std::vector<unsigned>> &Out) {
+  if (T.exhausted())
+    return;
+  for (;;) {
+    runOne(T, P);
+    Out.push_back(T.decisions());
+    bool More = T.advance();
+    if (!More)
+      break;
+    if (T.splittable() && R.chance(1, 3)) {
+      for (DecisionTree::Prefix &Pre :
+           T.split(static_cast<size_t>(1 + R.below(3))))
+        enumerateWithSplits(DecisionTree(std::move(Pre)), P, R, Out);
+    }
+  }
+}
+
+/// Uniform tree: \p Arities[d] alternatives at depth d.
+Program uniform(std::vector<unsigned> Arities) {
+  return [Arities = std::move(Arities)](const std::vector<unsigned> &Path) {
+    return Path.size() < Arities.size() ? Arities[Path.size()] : 0u;
+  };
+}
+
+/// A lopsided program: the first decision (3 alternatives) selects how deep
+/// the rest of the execution is, so subtree sizes differ per branch.
+unsigned lopsided(const std::vector<unsigned> &Path) {
+  if (Path.empty())
+    return 3;
+  unsigned Depth = 1 + Path[0]; // branch b gets b+1 further decisions
+  if (Path.size() <= Depth)
+    return 2;
+  return 0;
+}
+
+} // namespace
+
+TEST(DecisionTreeTest, EnumeratesUniformTreeInLexOrder) {
+  auto Leaves = enumerate(DecisionTree(), uniform({2, 3, 2}));
+  ASSERT_EQ(Leaves.size(), 12u);
+  EXPECT_EQ(Leaves.front(), (std::vector<unsigned>{0, 0, 0}));
+  EXPECT_EQ(Leaves.back(), (std::vector<unsigned>{1, 2, 1}));
+  EXPECT_TRUE(std::is_sorted(Leaves.begin(), Leaves.end()));
+  EXPECT_EQ(std::set<std::vector<unsigned>>(Leaves.begin(), Leaves.end())
+                .size(),
+            12u);
+}
+
+TEST(DecisionTreeTest, EnumeratesLopsidedTree) {
+  // Branch 0: 2^1 leaves, branch 1: 2^2, branch 2: 2^3 -> 14 total.
+  auto Leaves = enumerate(DecisionTree(), lopsided);
+  EXPECT_EQ(Leaves.size(), 14u);
+  EXPECT_TRUE(std::is_sorted(Leaves.begin(), Leaves.end()));
+}
+
+TEST(DecisionTreeTest, ReplayCursorTracksRecordedPrefix) {
+  DecisionTree T;
+  runOne(T, uniform({2, 2}));
+  EXPECT_EQ(T.depth(), 2u);
+  EXPECT_EQ(T.frontierSize(), 2u); // one untried alternative per level
+  ASSERT_TRUE(T.advance());
+  // After backtracking, the retained prefix replays and the last decision
+  // advanced to its sibling.
+  T.beginExecution();
+  EXPECT_TRUE(T.replaying());
+  EXPECT_EQ(T.next(2, "t"), 0u);
+  EXPECT_EQ(T.next(2, "t"), 1u);
+  EXPECT_FALSE(T.replaying());
+}
+
+TEST(DecisionTreeTest, AdvanceDiscardsExhaustedSuffix) {
+  DecisionTree T;
+  runOne(T, uniform({2, 1, 2}));
+  ASSERT_TRUE(T.advance());
+  EXPECT_EQ(T.decisions(), (std::vector<unsigned>{0, 0, 1}));
+  ASSERT_TRUE(T.advance());
+  // Depth-2 and depth-1 nodes exhausted; the root advances and the suffix
+  // is discarded.
+  EXPECT_EQ(T.decisions(), (std::vector<unsigned>{1}));
+  runOne(T, uniform({2, 1, 2}));
+  ASSERT_TRUE(T.advance());
+  EXPECT_EQ(T.decisions(), (std::vector<unsigned>{1, 0, 1}));
+  runOne(T, uniform({2, 1, 2}));
+  EXPECT_FALSE(T.advance());
+  EXPECT_TRUE(T.exhausted());
+}
+
+TEST(DecisionTreeTest, SeededTreeEnumeratesExactlyItsSubtree) {
+  auto P = uniform({3, 2, 2});
+  // Build the seed for subtree {1, *, *} the way split() would: pinned
+  // decisions.
+  DecisionTree::Prefix Seed{{1, 2, 3, "t"}};
+  auto Leaves = enumerate(DecisionTree(std::move(Seed)), P);
+  ASSERT_EQ(Leaves.size(), 4u);
+  for (const auto &L : Leaves) {
+    ASSERT_EQ(L.size(), 3u);
+    EXPECT_EQ(L[0], 1u);
+  }
+  EXPECT_EQ(Leaves.front(), (std::vector<unsigned>{1, 0, 0}));
+  EXPECT_EQ(Leaves.back(), (std::vector<unsigned>{1, 1, 1}));
+}
+
+TEST(DecisionTreeTest, SplitDonatesShallowestAlternativesAndKeepsPath) {
+  DecisionTree T;
+  runOne(T, uniform({3, 2}));
+  ASSERT_TRUE(T.advance()); // path {0,1}
+  ASSERT_TRUE(T.splittable());
+  auto Donated = T.split(8);
+  // Shallowest open node is the root (alternatives 1 and 2 untried).
+  ASSERT_EQ(Donated.size(), 2u);
+  EXPECT_EQ(Donated[0].back().Chosen, 1u);
+  EXPECT_EQ(Donated[1].back().Chosen, 2u);
+  for (const auto &Pre : Donated) {
+    EXPECT_EQ(Pre.size(), 1u);
+    EXPECT_EQ(Pre.back().Limit, Pre.back().Chosen + 1);
+    EXPECT_EQ(Pre.back().Count, 3u);
+  }
+  // The donor keeps its current path and no longer owns the donated
+  // alternatives.
+  EXPECT_EQ(T.decisions(), (std::vector<unsigned>{0, 1}));
+  EXPECT_FALSE(T.splittable());
+  // Donor finishes just its remaining branch.
+  runOne(T, uniform({3, 2}));
+  EXPECT_FALSE(T.advance());
+}
+
+TEST(DecisionTreeTest, SplitRespectsDonationCap) {
+  DecisionTree T;
+  runOne(T, uniform({4}));
+  ASSERT_TRUE(T.advance()); // path {1}; untried {2, 3}
+  auto Donated = T.split(1);
+  ASSERT_EQ(Donated.size(), 1u);
+  // The highest alternative goes first so the donor's range stays
+  // contiguous.
+  EXPECT_EQ(Donated[0].back().Chosen, 3u);
+  EXPECT_TRUE(T.splittable()); // alternative 2 still owned by the donor
+}
+
+TEST(DecisionTreeTest, SplittingPartitionsTheLeafSet) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Rng R(Seed);
+    std::vector<std::vector<unsigned>> Split;
+    enumerateWithSplits(DecisionTree(), lopsided, R, Split);
+    auto Serial = enumerate(DecisionTree(), lopsided);
+    ASSERT_EQ(Split.size(), Serial.size()) << "seed " << Seed;
+    std::sort(Split.begin(), Split.end());
+    // Serial DFS enumerates in sorted (lexicographic) order already.
+    EXPECT_EQ(Split, Serial) << "seed " << Seed;
+  }
+}
+
+TEST(DecisionTreeTest, SplittingPartitionsUniformTreeLeafSet) {
+  auto P = uniform({2, 3, 2, 2});
+  auto Serial = enumerate(DecisionTree(), P);
+  ASSERT_EQ(Serial.size(), 24u);
+  for (uint64_t Seed = 11; Seed <= 14; ++Seed) {
+    Rng R(Seed);
+    std::vector<std::vector<unsigned>> Split;
+    enumerateWithSplits(DecisionTree(), P, R, Split);
+    std::sort(Split.begin(), Split.end());
+    EXPECT_EQ(Split, Serial) << "seed " << Seed;
+  }
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(DecisionTreeDeathTest, ArityChangeDuringReplayIsFatal) {
+  DecisionTree T;
+  runOne(T, uniform({2, 2}));
+  ASSERT_TRUE(T.advance());
+  T.beginExecution();
+  EXPECT_DEATH(T.next(3, "t"), "nondeterministic replay");
+}
+#endif

@@ -5,10 +5,32 @@
 
 #include "lib/Container.h"
 #include "sim/Explorer.h"
+#include "sim/ParallelExplorer.h"
+#include "sim/Workload.h"
+
+#include <gtest/gtest.h>
 
 #include <vector>
 
 namespace compass::test {
+
+/// Explores \p W (serial or parallel per its options) and fails the current
+/// test if any execution violates the workload's check. On failure the
+/// first counterexample's decision trace is pretty-printed (tag + arity per
+/// decision) and replayed to confirm it reproduces the failing check.
+inline sim::Explorer::Summary
+exploreExpectNoViolations(const sim::Workload &W) {
+  sim::Explorer::Summary Sum = sim::explore(W);
+  if (Sum.Violations != 0) {
+    sim::ReplayResult RR = sim::replay(W, Sum.firstViolationDecisions());
+    ADD_FAILURE() << Sum.Violations
+                  << " violating execution(s); first counterexample:\n"
+                  << sim::Explorer::formatTrace(Sum.FirstViolation)
+                  << "replay reproduces the failing check: "
+                  << (RR.CheckOk ? "NO (check passed on replay!)" : "yes");
+  }
+  return Sum;
+}
 
 /// Enqueues each value of \p Vs in order.
 inline sim::Task<void> enqueuerThread(sim::Env &E, lib::SimQueue &Q,
