@@ -1,0 +1,141 @@
+//===-- bench/bench_conformance.cpp - Experiment E9 (DESIGN.md §7) ---------===//
+//
+// Regenerates the conformance-harness campaign (DESIGN.md §7) as a table
+// artifact: a pristine-library sweep (N generated scenarios per library,
+// every completed execution's event graph validated by the reference
+// model) followed by the mutation campaign (each seeded library mutation
+// must be killed by some generated scenario, and its counterexample
+// shrunk). The sweep rows quantify *checking effort* — executions,
+// linearization-budget overruns, truncated trees — per library; the
+// mutation rows quantify *oracle sensitivity* — scenarios needed until a
+// kill and the size of the minimized counterexample.
+//
+// Expected shape: every sweep row clean (0 races / deadlocks / violations)
+// with a worker-count-independent fingerprint, and every mutation killed.
+// The binary exits non-zero otherwise, so it doubles as a slow-tier gate.
+//
+// Flags: --seed N --per-lib N --workers N --max-execs N --json
+//
+//===----------------------------------------------------------------------===//
+
+#include "ExperimentUtil.h"
+#include "check/Conformance.h"
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace compass;
+using namespace compass::bench;
+using namespace compass::check;
+
+int main(int Argc, char **Argv) {
+  SweepOptions SO;
+  SO.Seed = 1;
+  SO.ScenariosPerLib = 25;
+  SO.Workers = 2;
+  SO.MaxExecutionsPerScenario = 150'000;
+  MutationOptions MO;
+  bool Json = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    auto Num = [&](const char *Flag) -> uint64_t {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "missing value for %s\n", Flag);
+        std::exit(2);
+      }
+      return std::strtoull(Argv[++I], nullptr, 10);
+    };
+    if (!std::strcmp(Argv[I], "--seed"))
+      SO.Seed = MO.Seed = Num("--seed");
+    else if (!std::strcmp(Argv[I], "--per-lib"))
+      SO.ScenariosPerLib = static_cast<unsigned>(Num("--per-lib"));
+    else if (!std::strcmp(Argv[I], "--workers"))
+      SO.Workers = static_cast<unsigned>(Num("--workers"));
+    else if (!std::strcmp(Argv[I], "--max-execs"))
+      SO.MaxExecutionsPerScenario = MO.MaxExecutionsPerScenario =
+          Num("--max-execs");
+    else if (!std::strcmp(Argv[I], "--json"))
+      Json = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--per-lib N] [--workers N] "
+                   "[--max-execs N] [--json]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== E9a: pristine-library conformance sweep (seed=%llu, "
+              "%u scenarios/lib, %u workers) ==\n",
+              static_cast<unsigned long long>(SO.Seed), SO.ScenariosPerLib,
+              SO.Workers);
+  SweepReport Sweep = runSweep(SO);
+  {
+    Table T({"library", "scenarios", "executions", "races", "deadlocks",
+             "violations", "lin-aborts", "truncated", "max-depth"});
+    for (const LibSweepStats &St : Sweep.PerLib)
+      T.addRow({libName(St.L), fmtU64(St.Scenarios), fmtU64(St.Executions),
+                fmtU64(St.Races), fmtU64(St.Deadlocks), fmtU64(St.Violations),
+                fmtU64(St.LinAborts), fmtU64(St.Truncated),
+                fmtU64(St.MaxDepth)});
+    T.print();
+    std::printf("fingerprint: 0x%llx  (%s)\n\n",
+                static_cast<unsigned long long>(Sweep.fingerprint()),
+                Sweep.clean() ? "clean" : "VIOLATIONS");
+  }
+
+  std::printf("== E9b: mutation campaign (seed=%llu) ==\n",
+              static_cast<unsigned long long>(MO.Seed));
+  std::vector<MutantReport> Muts = runMutationTests(MO);
+  bool AllKilled = true;
+  {
+    Table T({"mutation", "killed", "scenarios", "rule", "ops", "decisions",
+             "minimized"});
+    for (const MutantReport &R : Muts) {
+      AllKilled &= R.Killed;
+      std::string Ops = "-", Decs = "-", Min = "-";
+      if (R.Killed && R.Shrunk.OpsBefore) {
+        Ops = fmtU64(R.Shrunk.OpsBefore) + "->" + fmtU64(R.Shrunk.OpsAfter);
+        Decs = fmtU64(R.Shrunk.DecisionsBefore) + "->" +
+               fmtU64(R.Shrunk.DecisionsAfter);
+        Min = R.Shrunk.Min.str();
+      }
+      T.addRow({mutationName(R.Mut), R.Killed ? "yes" : "NO",
+                fmtU64(R.ScenariosTried), R.Rule.empty() ? "-" : R.Rule, Ops,
+                Decs, Min});
+    }
+    T.print();
+  }
+
+  if (Json) {
+    JsonWriter J;
+    J.beginObject();
+    J.key("sweep");
+    J.raw(Sweep.json());
+    J.key("mutants");
+    J.beginArray();
+    for (const MutantReport &R : Muts) {
+      J.beginObject();
+      J.field("mutation", mutationName(R.Mut));
+      J.field("killed", R.Killed);
+      J.field("scenarios_tried", R.ScenariosTried);
+      J.field("rule", R.Rule);
+      if (R.Killed && R.Shrunk.OpsBefore) {
+        J.field("ops_before", R.Shrunk.OpsBefore);
+        J.field("ops_after", R.Shrunk.OpsAfter);
+        J.field("decisions_before", R.Shrunk.DecisionsBefore);
+        J.field("decisions_after", R.Shrunk.DecisionsAfter);
+        J.field("minimized", R.Shrunk.Min.str());
+      }
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+    std::printf("%s\n", J.str().c_str());
+  }
+
+  bool Ok = Sweep.clean() && AllKilled;
+  std::printf("\nE9 verdict: %s\n", Ok ? "PASS" : "FAIL");
+  return Ok ? 0 : 1;
+}

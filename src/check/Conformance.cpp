@@ -1,0 +1,221 @@
+//===-- check/Conformance.cpp - Sweep + mutation-test drivers -------------===//
+
+#include "check/Conformance.h"
+
+#include "support/Json.h"
+
+#include <iomanip>
+#include <sstream>
+
+using namespace compass;
+using namespace compass::check;
+
+//===----------------------------------------------------------------------===//
+// Sweep
+//===----------------------------------------------------------------------===//
+
+SweepReport check::runSweep(const SweepOptions &O) {
+  std::vector<Lib> Libs = O.Libs;
+  if (Libs.empty())
+    Libs.assign(allLibs(), allLibs() + NumLibs);
+
+  SweepReport Rep;
+  Rep.Seed = O.Seed;
+  Rep.Workers = O.Workers;
+  auto Mix = [&Rep](uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I) {
+      Rep.Fp ^= (V >> (8 * I)) & 0xff;
+      Rep.Fp *= 1099511628211ull;
+    }
+  };
+  Mix(O.Seed);
+  for (Lib L : Libs) {
+    LibSweepStats St;
+    St.L = L;
+    for (unsigned I = 0; I != O.ScenariosPerLib; ++I) {
+      Scenario S = generateScenario(L, scenarioSeed(O.Seed, L, I), O.Gen);
+      sim::Explorer::Options Opts =
+          scenarioOptions(S, O.MaxExecutionsPerScenario, O.Workers);
+      auto LinAborts = std::make_shared<std::atomic<uint64_t>>(0);
+      sim::Explorer::Summary Sum =
+          sim::explore(makeWorkload(S, Mutation::None, Opts, LinAborts));
+      ++St.Scenarios;
+      St.Executions += Sum.Executions;
+      St.Completed += Sum.Completed;
+      St.Races += Sum.Races;
+      St.Deadlocks += Sum.Deadlocks;
+      St.Violations += Sum.Violations;
+      St.MaxDepth = std::max(St.MaxDepth, Sum.MaxDepth);
+      St.LinAborts += LinAborts->load();
+      St.Truncated += !Sum.Exhausted;
+      // Deterministic fingerprint: a truncated tree's explored subset is
+      // worker-count dependent, so only exhausted scenarios contribute
+      // their counters (see SweepReport::fingerprint).
+      Mix(static_cast<uint64_t>(L));
+      Mix(I);
+      Mix(Sum.Exhausted);
+      if (Sum.Exhausted) {
+        Mix(Sum.Executions);
+        Mix(Sum.Completed);
+        Mix(Sum.Races);
+        Mix(Sum.Deadlocks);
+        Mix(Sum.Violations);
+        Mix(Sum.MaxDepth);
+      }
+      if (Sum.HasViolation && St.FirstBadScenario == ~0u) {
+        St.FirstBadScenario = I;
+        // Replay the first violation serially for a structured verdict.
+        TraceDiagnosis D =
+            diagnoseTrace(S, Mutation::None, scenarioOptions(S, 1, 1),
+                          Sum.firstViolationDecisions());
+        St.FirstBad = S.str() + " | " + D.V.str() + " | " +
+                      sim::formatReplayCall(D.Executed);
+      }
+    }
+    Rep.PerLib.push_back(std::move(St));
+  }
+  return Rep;
+}
+
+uint64_t SweepReport::totalViolations() const {
+  uint64_t N = 0;
+  for (const LibSweepStats &St : PerLib)
+    N += St.Violations + St.Races + St.Deadlocks;
+  return N;
+}
+
+uint64_t SweepReport::totalExecutions() const {
+  uint64_t N = 0;
+  for (const LibSweepStats &St : PerLib)
+    N += St.Executions;
+  return N;
+}
+
+std::string SweepReport::str() const {
+  std::ostringstream OS;
+  OS << "conformance sweep: seed=" << Seed << " workers=" << Workers << "\n";
+  OS << std::left << std::setw(14) << "lib" << std::right << std::setw(6)
+     << "scen" << std::setw(12) << "execs" << std::setw(7) << "races"
+     << std::setw(7) << "dlock" << std::setw(7) << "viols" << std::setw(9)
+     << "linabrt" << std::setw(7) << "trunc" << std::setw(9) << "maxdep"
+     << "\n";
+  for (const LibSweepStats &St : PerLib) {
+    OS << std::left << std::setw(14) << libName(St.L) << std::right
+       << std::setw(6) << St.Scenarios << std::setw(12) << St.Executions
+       << std::setw(7) << St.Races << std::setw(7) << St.Deadlocks
+       << std::setw(7) << St.Violations << std::setw(9) << St.LinAborts
+       << std::setw(7) << St.Truncated << std::setw(9) << St.MaxDepth
+       << "\n";
+    if (!St.FirstBad.empty())
+      OS << "  first violation (scenario #" << St.FirstBadScenario
+         << "): " << St.FirstBad << "\n";
+  }
+  OS << "fingerprint: 0x" << std::hex << fingerprint() << std::dec
+     << (clean() ? "  (clean)" : "  (VIOLATIONS)") << "\n";
+  return OS.str();
+}
+
+std::string SweepReport::json() const {
+  JsonWriter J;
+  J.beginObject();
+  J.field("seed", Seed);
+  J.field("workers", Workers);
+  J.field("violations", totalViolations());
+  J.field("executions", totalExecutions());
+  {
+    std::ostringstream FP;
+    FP << "0x" << std::hex << fingerprint();
+    J.field("fingerprint", FP.str());
+  }
+  J.key("libs");
+  J.beginArray();
+  for (const LibSweepStats &St : PerLib) {
+    J.beginObject();
+    J.field("lib", libName(St.L));
+    J.field("scenarios", St.Scenarios);
+    J.field("executions", St.Executions);
+    J.field("completed", St.Completed);
+    J.field("races", St.Races);
+    J.field("deadlocks", St.Deadlocks);
+    J.field("violations", St.Violations);
+    J.field("lin_aborts", St.LinAborts);
+    J.field("truncated", St.Truncated);
+    J.field("max_depth", St.MaxDepth);
+    if (!St.FirstBad.empty())
+      J.field("first_bad", St.FirstBad);
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  return J.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation testing
+//===----------------------------------------------------------------------===//
+
+MutantReport check::huntMutant(Mutation Mut, const MutationOptions &O) {
+  MutantReport R;
+  R.Mut = Mut;
+  Lib L = mutationLib(Mut);
+  GenOptions Gen = GenOptions::hunting();
+  for (unsigned I = 0; I != O.MaxScenarios; ++I) {
+    Scenario S = generateScenario(L, scenarioSeed(O.Seed, L, I), Gen);
+    ++R.ScenariosTried;
+    std::vector<unsigned> Trace;
+    if (!scenarioFails(S, Mut, O.MaxExecutionsPerScenario, Trace))
+      continue;
+    R.Killed = true;
+    R.Killer = S;
+    R.KillerDecisions = Trace;
+    if (O.Shrink) {
+      R.Shrunk = shrinkCounterexample(S, Mut, Trace, O.Shr);
+      R.Rule = R.Shrunk.V.Rule;
+    } else {
+      TraceDiagnosis D = diagnoseTrace(S, Mut, scenarioOptions(S, 1, 1), Trace);
+      R.Rule = D.V.Rule;
+    }
+    break;
+  }
+  return R;
+}
+
+std::vector<MutantReport> check::runMutationTests(const MutationOptions &O) {
+  std::vector<Mutation> Muts = O.Muts;
+  if (Muts.empty())
+    for (unsigned I = 1; I != NumMutations; ++I) // Skip None.
+      Muts.push_back(static_cast<Mutation>(I));
+  std::vector<MutantReport> Out;
+  for (Mutation M : Muts)
+    Out.push_back(huntMutant(M, O));
+  return Out;
+}
+
+std::string MutantReport::str() const {
+  std::ostringstream OS;
+  OS << mutationName(Mut) << ": ";
+  if (!Killed) {
+    OS << "SURVIVED after " << ScenariosTried << " scenarios";
+    return OS.str();
+  }
+  OS << "killed (scenario #" << (ScenariosTried - 1) << ", rule "
+     << (Rule.empty() ? "?" : Rule) << ")";
+  if (Shrunk.OpsBefore)
+    OS << "; shrunk " << Shrunk.str() << "; min: " << Shrunk.Min.str();
+  return OS.str();
+}
+
+CorpusEntry check::corpusEntryFor(const MutantReport &R) {
+  CorpusEntry E;
+  E.Mut = R.Mut;
+  if (R.Shrunk.OpsBefore) { // Shrinking ran.
+    E.S = R.Shrunk.Min;
+    E.Decisions = R.Shrunk.Decisions;
+  } else {
+    E.S = R.Killer;
+    E.Decisions = R.KillerDecisions;
+  }
+  E.Note = std::string(mutationDescription(R.Mut)) + "; rule " +
+           (R.Rule.empty() ? "?" : R.Rule);
+  return E;
+}

@@ -1,0 +1,195 @@
+//===-- check/Main.cpp - compass_check CLI --------------------------------===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conformance-harness command line (README quickstart):
+///
+///   compass_check sweep   [--seed N] [--per-lib N] [--workers N]
+///                         [--max-execs N] [--lib NAME]... [--json]
+///   compass_check mutants [--seed N] [--max-scenarios N] [--max-execs N]
+///                         [--mut NAME]... [--no-shrink] [--emit-corpus DIR]
+///   compass_check replay  FILE...
+///
+/// `sweep` explores generated scenarios against the pristine libraries and
+/// exits nonzero on any violation. `mutants` must kill every seeded mutant
+/// (exit nonzero on a survivor) and can persist the shrunk counterexamples
+/// as corpus files. `replay` re-executes corpus entries and exits nonzero
+/// when one no longer reproduces its violation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/Conformance.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace compass;
+using namespace compass::check;
+
+namespace {
+
+[[noreturn]] void usage(const char *Msg = nullptr) {
+  if (Msg)
+    std::fprintf(stderr, "compass_check: %s\n", Msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  compass_check sweep   [--seed N] [--per-lib N] "
+               "[--workers N] [--max-execs N] [--lib NAME]... [--json]\n"
+               "  compass_check mutants [--seed N] [--max-scenarios N] "
+               "[--max-execs N] [--mut NAME]... [--no-shrink] "
+               "[--emit-corpus DIR]\n"
+               "  compass_check replay  FILE...\n");
+  std::exit(2);
+}
+
+uint64_t parseU64(const char *Flag, const char *V) {
+  char *End = nullptr;
+  uint64_t N = std::strtoull(V, &End, 10);
+  if (!V[0] || (End && *End))
+    usage((std::string("bad value for ") + Flag).c_str());
+  return N;
+}
+
+/// Pops the value of flag \p Name from argv position \p I.
+const char *flagValue(int Argc, char **Argv, int &I, const char *Name) {
+  if (I + 1 >= Argc)
+    usage((std::string(Name) + " needs a value").c_str());
+  return Argv[++I];
+}
+
+int cmdSweep(int Argc, char **Argv) {
+  SweepOptions O;
+  bool Json = false;
+  for (int I = 0; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--seed")
+      O.Seed = parseU64("--seed", flagValue(Argc, Argv, I, "--seed"));
+    else if (A == "--per-lib")
+      O.ScenariosPerLib = static_cast<unsigned>(
+          parseU64("--per-lib", flagValue(Argc, Argv, I, "--per-lib")));
+    else if (A == "--workers")
+      O.Workers = static_cast<unsigned>(
+          parseU64("--workers", flagValue(Argc, Argv, I, "--workers")));
+    else if (A == "--max-execs")
+      O.MaxExecutionsPerScenario =
+          parseU64("--max-execs", flagValue(Argc, Argv, I, "--max-execs"));
+    else if (A == "--lib") {
+      Lib L;
+      const char *Name = flagValue(Argc, Argv, I, "--lib");
+      if (!parseLib(Name, L))
+        usage((std::string("unknown library ") + Name).c_str());
+      O.Libs.push_back(L);
+    } else if (A == "--json")
+      Json = true;
+    else
+      usage((std::string("unknown sweep flag ") + A).c_str());
+  }
+  SweepReport Rep = runSweep(O);
+  std::printf("%s", Json ? (Rep.json() + "\n").c_str() : Rep.str().c_str());
+  return Rep.clean() ? 0 : 1;
+}
+
+int cmdMutants(int Argc, char **Argv) {
+  MutationOptions O;
+  std::string CorpusDir;
+  for (int I = 0; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--seed")
+      O.Seed = parseU64("--seed", flagValue(Argc, Argv, I, "--seed"));
+    else if (A == "--max-scenarios")
+      O.MaxScenarios = static_cast<unsigned>(parseU64(
+          "--max-scenarios", flagValue(Argc, Argv, I, "--max-scenarios")));
+    else if (A == "--max-execs")
+      O.MaxExecutionsPerScenario =
+          parseU64("--max-execs", flagValue(Argc, Argv, I, "--max-execs"));
+    else if (A == "--mut") {
+      Mutation M;
+      const char *Name = flagValue(Argc, Argv, I, "--mut");
+      if (!parseMutation(Name, M) || M == Mutation::None)
+        usage((std::string("unknown mutation ") + Name).c_str());
+      O.Muts.push_back(M);
+    } else if (A == "--no-shrink")
+      O.Shrink = false;
+    else if (A == "--emit-corpus")
+      CorpusDir = flagValue(Argc, Argv, I, "--emit-corpus");
+    else
+      usage((std::string("unknown mutants flag ") + A).c_str());
+  }
+  std::vector<MutantReport> Reps = runMutationTests(O);
+  unsigned Survivors = 0;
+  for (const MutantReport &R : Reps) {
+    std::printf("%s\n", R.str().c_str());
+    if (!R.Killed) {
+      ++Survivors;
+      continue;
+    }
+    if (!CorpusDir.empty()) {
+      CorpusEntry E = corpusEntryFor(R);
+      std::string Path =
+          CorpusDir + "/" + mutationName(R.Mut) + ".corpus";
+      std::ofstream Out(Path);
+      if (!Out) {
+        std::fprintf(stderr, "compass_check: cannot write %s\n",
+                     Path.c_str());
+        return 2;
+      }
+      Out << formatCorpusEntry(E);
+      std::printf("  wrote %s\n", Path.c_str());
+    }
+  }
+  std::printf("%zu/%zu mutants killed\n", Reps.size() - Survivors,
+              Reps.size());
+  return Survivors ? 1 : 0;
+}
+
+int cmdReplay(int Argc, char **Argv) {
+  if (!Argc)
+    usage("replay needs at least one corpus file");
+  int Bad = 0;
+  for (int I = 0; I != Argc; ++I) {
+    std::ifstream In(Argv[I]);
+    if (!In) {
+      std::fprintf(stderr, "compass_check: cannot read %s\n", Argv[I]);
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    CorpusEntry E;
+    std::string Err;
+    if (!parseCorpusEntry(Buf.str(), E, Err)) {
+      std::fprintf(stderr, "compass_check: %s: %s\n", Argv[I], Err.c_str());
+      return 2;
+    }
+    TraceDiagnosis D = diagnoseTrace(E.S, E.Mut, scenarioOptions(E.S, 1, 1),
+                                     E.Decisions);
+    bool Ok = D.failing(); // A corpus entry must reproduce its violation.
+    std::printf("%s: %s [%s, %s] %s\n", Argv[I],
+                Ok ? "reproduced" : "NOT REPRODUCED", libName(E.S.L),
+                mutationName(E.Mut), D.V.str().c_str());
+    Bad += !Ok;
+  }
+  return Bad ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage();
+  std::string Cmd = Argv[1];
+  if (Cmd == "sweep")
+    return cmdSweep(Argc - 2, Argv + 2);
+  if (Cmd == "mutants")
+    return cmdMutants(Argc - 2, Argv + 2);
+  if (Cmd == "replay")
+    return cmdReplay(Argc - 2, Argv + 2);
+  usage((std::string("unknown command ") + Cmd).c_str());
+}

@@ -1,0 +1,477 @@
+//===-- check/Mutants.cpp - Deliberately broken library variants -----------===//
+//
+// Each implementation below is a copy of the corresponding src/lib/
+// algorithm with exactly one seeded bug, marked by a `MUTANT:` comment.
+// Keep them in sync with the originals when those change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Mutants.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace compass;
+using namespace compass::check;
+using namespace compass::rmc;
+using namespace compass::sim;
+using compass::graph::BottomVal;
+using compass::graph::EmptyVal;
+using compass::graph::EventId;
+using compass::graph::FailRaceVal;
+using compass::graph::OpKind;
+
+// === MutMsQueue ==========================================================
+
+MutMsQueue::MutMsQueue(Machine &M, spec::SpecMonitor &Mon, std::string Name,
+                       Mutation Mut)
+    : Mon(Mon), Mut(Mut) {
+  assert(Mut == Mutation::MsQueueRelaxedPublish ||
+         Mut == Mutation::MsQueueSkipDeq);
+  Obj = Mon.registerObject(Name);
+  Loc Sentinel = M.alloc(Name + ".sentinel", 3);
+  Head = M.alloc(Name + ".head", 1, Sentinel);
+  Tail = M.alloc(Name + ".tail", 1, Sentinel);
+}
+
+Task<void> MutMsQueue::enqueue(Env &E, Value V) {
+  Loc N = E.M.alloc("msq.node", 3);
+  co_await E.store(N + ValOff, V, MemOrder::NonAtomic);
+
+  // MUTANT(MsQueueRelaxedPublish): the linking CAS is relaxed, so the
+  // node's non-atomic payload is not published to the dequeuer.
+  MemOrder LinkOrder = Mut == Mutation::MsQueueRelaxedPublish
+                           ? MemOrder::Relaxed
+                           : MemOrder::Release;
+
+  Value PrevTail = ~0ull, PrevNext = ~0ull;
+  for (;;) {
+    Value TailPtr = co_await E.load(Tail, MemOrder::Acquire);
+    Loc Last = static_cast<Loc>(TailPtr);
+    Value Next = co_await E.load(Last + NextOff, MemOrder::Acquire);
+    if (TailPtr == PrevTail && Next == PrevNext)
+      co_await E.prune();
+    PrevTail = TailPtr;
+    PrevNext = Next;
+
+    if (Next != 0) {
+      co_await E.cas(Tail, TailPtr, Next, MemOrder::Release);
+      continue;
+    }
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    co_await E.store(N + EidOff, Ev, MemOrder::NonAtomic);
+    auto R = co_await E.cas(Last + NextOff, 0, N, LinkOrder);
+    if (R.Success) {
+      Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Enq, V);
+      co_await E.cas(Tail, TailPtr, N, MemOrder::Release);
+      co_return;
+    }
+    Mon.retract(E.M, E.Tid, Ev);
+  }
+}
+
+Task<Value> MutMsQueue::dequeue(Env &E) {
+  Value PrevHead = ~0ull, PrevNext = ~0ull;
+  for (;;) {
+    Value HeadPtr = co_await E.load(Head, MemOrder::Acquire);
+    Loc First = static_cast<Loc>(HeadPtr);
+    Value Next = co_await E.load(First + NextOff, MemOrder::Acquire);
+    if (Next == 0) {
+      EventId Ev = Mon.reserve(E.M, E.Tid);
+      Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::DeqEmpty, EmptyVal);
+      co_return EmptyVal;
+    }
+    if (HeadPtr == PrevHead && Next == PrevNext)
+      co_await E.prune();
+    PrevHead = HeadPtr;
+    PrevNext = Next;
+
+    Loc Node = static_cast<Loc>(Next);
+
+    if (Mut == Mutation::MsQueueSkipDeq) {
+      // MUTANT(MsQueueSkipDeq): when the first node already has a
+      // successor, advance head straight past it — the first element is
+      // silently dropped and the *second* is returned (FIFO violation).
+      Value NextNext = co_await E.load(Node + NextOff, MemOrder::Acquire);
+      if (NextNext != 0) {
+        Loc Node2 = static_cast<Loc>(NextNext);
+        Value V2 = co_await E.load(Node2 + ValOff, MemOrder::NonAtomic);
+        Value EnqEv2 = co_await E.load(Node2 + EidOff, MemOrder::NonAtomic);
+        EventId Ev = Mon.reserve(E.M, E.Tid);
+        auto R = co_await E.cas(Head, HeadPtr, NextNext, MemOrder::AcqRel);
+        if (R.Success) {
+          Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::DeqOk, V2, 0,
+                     static_cast<EventId>(EnqEv2));
+          co_return V2;
+        }
+        Mon.retract(E.M, E.Tid, Ev);
+        continue;
+      }
+    }
+
+    Value V = co_await E.load(Node + ValOff, MemOrder::NonAtomic);
+    Value EnqEv = co_await E.load(Node + EidOff, MemOrder::NonAtomic);
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    auto R = co_await E.cas(Head, HeadPtr, Next, MemOrder::AcqRel);
+    if (R.Success) {
+      Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::DeqOk, V, 0,
+                 static_cast<EventId>(EnqEv));
+      co_return V;
+    }
+    Mon.retract(E.M, E.Tid, Ev);
+  }
+}
+
+// === MutTreiberStack =====================================================
+
+MutTreiberStack::MutTreiberStack(Machine &M, spec::SpecMonitor &Mon,
+                                 std::string Name, Mutation Mut)
+    : Mon(Mon), Mut(Mut) {
+  assert(Mut == Mutation::TreiberRelaxedPopHead ||
+         Mut == Mutation::TreiberPopBelowTop);
+  Obj = Mon.registerObject(Name);
+  HeadLoc = M.alloc(Name + ".head");
+}
+
+Task<void> MutTreiberStack::push(Env &E, Value V) {
+  Loc N = E.M.alloc("stk.node", 3);
+  co_await E.store(N + ValOff, V, MemOrder::NonAtomic);
+  Timestamp PrevTs = ~0u;
+  bool First = true;
+  for (;;) {
+    Value HeadPtr = co_await E.load(HeadLoc, MemOrder::Relaxed);
+    Timestamp Ts = E.M.lastReadTs(E.Tid);
+    if (!First && Ts == PrevTs)
+      co_await E.prune();
+    First = false;
+    PrevTs = Ts;
+    co_await E.store(N + NextOff, HeadPtr, MemOrder::NonAtomic);
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    co_await E.store(N + EidOff, Ev, MemOrder::NonAtomic);
+    auto R = co_await E.cas(HeadLoc, HeadPtr, N, MemOrder::Release);
+    if (R.Success) {
+      Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Push, V);
+      co_return;
+    }
+    Mon.retract(E.M, E.Tid, Ev);
+  }
+}
+
+Task<bool> MutTreiberStack::tryPush(Env &E, Value V) {
+  Loc N = E.M.alloc("stk.node", 3);
+  co_await E.store(N + ValOff, V, MemOrder::NonAtomic);
+  Value HeadPtr = co_await E.load(HeadLoc, MemOrder::Relaxed);
+  co_await E.store(N + NextOff, HeadPtr, MemOrder::NonAtomic);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  co_await E.store(N + EidOff, Ev, MemOrder::NonAtomic);
+  auto R = co_await E.cas(HeadLoc, HeadPtr, N, MemOrder::Release);
+  if (R.Success) {
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Push, V);
+    co_return true;
+  }
+  Mon.retract(E.M, E.Tid, Ev);
+  co_return false;
+}
+
+Task<Value> MutTreiberStack::popAttempt(Env &E, Timestamp *HeadTsOut) {
+  // MUTANT(TreiberRelaxedPopHead): the head load is relaxed, so the
+  // non-atomic node reads below race with the pusher's initialization.
+  MemOrder HeadOrder = Mut == Mutation::TreiberRelaxedPopHead
+                           ? MemOrder::Relaxed
+                           : MemOrder::Acquire;
+  Value HeadPtr = co_await E.load(HeadLoc, HeadOrder);
+  if (HeadTsOut)
+    *HeadTsOut = E.M.lastReadTs(E.Tid);
+  if (HeadPtr == 0) {
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopEmpty, EmptyVal);
+    co_return EmptyVal;
+  }
+  Loc Node = static_cast<Loc>(HeadPtr);
+  Value Next = co_await E.load(Node + NextOff, MemOrder::NonAtomic);
+
+  if (Mut == Mutation::TreiberPopBelowTop && Next != 0) {
+    // MUTANT(TreiberPopBelowTop): with two or more elements, unlink BOTH
+    // top nodes but return (and record) the *second* one's value — the
+    // top element vanishes unpopped and LIFO order is broken.
+    Loc Node2 = static_cast<Loc>(Next);
+    Value NextNext = co_await E.load(Node2 + NextOff, MemOrder::NonAtomic);
+    Value V2 = co_await E.load(Node2 + ValOff, MemOrder::NonAtomic);
+    Value PushEv2 = co_await E.load(Node2 + EidOff, MemOrder::NonAtomic);
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    auto R = co_await E.cas(HeadLoc, HeadPtr, NextNext, MemOrder::Acquire);
+    if (R.Success) {
+      Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopOk, V2, 0,
+                 static_cast<EventId>(PushEv2));
+      co_return V2;
+    }
+    Mon.retract(E.M, E.Tid, Ev);
+    co_return FailRaceVal;
+  }
+
+  Value V = co_await E.load(Node + ValOff, MemOrder::NonAtomic);
+  Value PushEv = co_await E.load(Node + EidOff, MemOrder::NonAtomic);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  auto R = co_await E.cas(HeadLoc, HeadPtr, Next, MemOrder::Acquire);
+  if (R.Success) {
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopOk, V, 0,
+               static_cast<EventId>(PushEv));
+    co_return V;
+  }
+  Mon.retract(E.M, E.Tid, Ev);
+  co_return FailRaceVal;
+}
+
+Task<Value> MutTreiberStack::tryPop(Env &E) {
+  return popAttempt(E, nullptr);
+}
+
+Task<Value> MutTreiberStack::pop(Env &E) {
+  Timestamp PrevTs = ~0u;
+  bool First = true;
+  for (;;) {
+    Timestamp Ts = 0;
+    auto Attempt = popAttempt(E, &Ts);
+    Value V = co_await Attempt;
+    if (V != FailRaceVal)
+      co_return V;
+    if (!First && Ts == PrevTs)
+      co_await E.prune();
+    First = false;
+    PrevTs = Ts;
+  }
+}
+
+// === MutExchanger ========================================================
+
+MutExchanger::MutExchanger(Machine &M, spec::SpecMonitor &Mon,
+                           std::string Name)
+    : Mon(Mon) {
+  Obj = Mon.registerObject(Name);
+  Slot = M.alloc(Name + ".slot");
+}
+
+Task<Value> MutExchanger::exchange(Env &E, Value V, unsigned Attempts) {
+  if (V == BottomVal || V == 0)
+    fatalError("exchanged values must be nonzero and not ⊥");
+
+  for (unsigned Round = 0; Round != Attempts; ++Round) {
+    Value SlotVal = co_await E.load(Slot, MemOrder::Acquire);
+    if (SlotVal == 0) {
+      Loc Off = E.M.alloc("xchg.offer", 3);
+      co_await E.store(Off + ValOff, V, MemOrder::NonAtomic);
+      co_await E.store(Off + TidOff, E.Tid, MemOrder::NonAtomic);
+      auto Install = co_await E.cas(Slot, 0, Off, MemOrder::Release);
+      if (!Install.Success)
+        continue;
+      auto Cancel = co_await E.cas(Off + HoleOff, 0, HoleCancel,
+                                   MemOrder::Relaxed, MemOrder::Acquire);
+      if (Cancel.Success) {
+        co_await E.cas(Slot, Off, 0, MemOrder::Relaxed);
+        continue;
+      }
+      co_await E.cas(Slot, Off, 0, MemOrder::Relaxed);
+      // MUTANT(ExchangerEchoValue): hand back our own value instead of the
+      // partner's (Cancel.Old). The event graph records the true crossing,
+      // so only the observed-result check can see this.
+      co_return V;
+    }
+
+    Loc Off = static_cast<Loc>(SlotVal);
+    rmc::View OfferPhys = E.M.lastReadKnowledge(E.Tid).Phys;
+    Value PartnerVal = co_await E.load(Off + ValOff, MemOrder::NonAtomic);
+    Value PartnerTid = co_await E.load(Off + TidOff, MemOrder::NonAtomic);
+    EventId HelpeeEv = Mon.reserve(E.M, E.Tid);
+    EventId MyEv = Mon.reserve(E.M, E.Tid);
+    auto R = co_await E.cas(Off + HoleOff, 0, V, MemOrder::AcqRel);
+    if (R.Success) {
+      Mon.commitExchangePair(E.M, E.Tid, MyEv, V,
+                             static_cast<unsigned>(PartnerTid), HelpeeEv,
+                             PartnerVal, OfferPhys, Obj);
+      co_await E.cas(Slot, Off, 0, MemOrder::Relaxed);
+      // MUTANT(ExchangerEchoValue): should be PartnerVal.
+      co_return V;
+    }
+    Mon.retract(E.M, E.Tid, HelpeeEv);
+    Mon.retract(E.M, E.Tid, MyEv);
+    co_await E.cas(Slot, Off, 0, MemOrder::Relaxed);
+  }
+
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Exchange, V, BottomVal);
+  co_return BottomVal;
+}
+
+// === MutSpscRing =========================================================
+
+MutSpscRing::MutSpscRing(Machine &M, spec::SpecMonitor &Mon,
+                         std::string Name, unsigned Capacity)
+    : Mon(Mon), Capacity(Capacity) {
+  Obj = Mon.registerObject(Name);
+  HeadIdx = M.alloc(Name + ".head");
+  TailIdx = M.alloc(Name + ".tail");
+  Buf = M.alloc(Name + ".buf", Capacity);
+  Eids = M.alloc(Name + ".eids", Capacity);
+}
+
+void MutSpscRing::checkRole(unsigned &Role, unsigned Tid, const char *What) {
+  if (Role == ~0u)
+    Role = Tid;
+  else if (Role != Tid)
+    fatalError(std::string("MutSpscRing: second thread acting as ") + What);
+}
+
+Task<bool> MutSpscRing::tryEnqueue(Env &E, Value V) {
+  checkRole(ProducerTid, E.Tid, "producer");
+  Value T = co_await E.load(TailIdx, MemOrder::Relaxed);
+  Value H = co_await E.load(HeadIdx, MemOrder::Acquire);
+  if (T - H == Capacity)
+    co_return false;
+  Loc Slot = Buf + static_cast<Loc>(T % Capacity);
+  co_await E.store(Slot, V, MemOrder::NonAtomic);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  co_await E.store(Eids + static_cast<Loc>(T % Capacity), Ev,
+                   MemOrder::NonAtomic);
+  // MUTANT(SpscRelaxedTailPublish): relaxed tail store — the consumer's
+  // acquire of tail no longer brings the slot write with it, so its
+  // non-atomic slot read races.
+  co_await E.store(TailIdx, T + 1, MemOrder::Relaxed);
+  Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Enq, V);
+  co_return true;
+}
+
+Task<Value> MutSpscRing::dequeue(Env &E) {
+  checkRole(ConsumerTid, E.Tid, "consumer");
+  Value H = co_await E.load(HeadIdx, MemOrder::Relaxed);
+  Value T = co_await E.load(TailIdx, MemOrder::Acquire);
+  if (H == T) {
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::DeqEmpty, EmptyVal);
+    co_return EmptyVal;
+  }
+  Loc Slot = Buf + static_cast<Loc>(H % Capacity);
+  Value V = co_await E.load(Slot, MemOrder::NonAtomic);
+  Value EnqEv = co_await E.load(Eids + static_cast<Loc>(H % Capacity),
+                                MemOrder::NonAtomic);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  co_await E.store(HeadIdx, H + 1, MemOrder::Release);
+  Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::DeqOk, V, 0,
+             static_cast<EventId>(EnqEv));
+  co_return V;
+}
+
+// === MutWsDeque ==========================================================
+
+MutWsDeque::MutWsDeque(Machine &M, spec::SpecMonitor &Mon, std::string Name,
+                       unsigned Capacity)
+    : Mon(Mon), Capacity(Capacity) {
+  Obj = Mon.registerObject(Name);
+  Top = M.alloc(Name + ".top");
+  Bottom = M.alloc(Name + ".bottom");
+  Buf = M.alloc(Name + ".buf", Capacity);
+  Eids = M.alloc(Name + ".eids", Capacity);
+}
+
+void MutWsDeque::checkOwner(unsigned Tid) {
+  if (OwnerTid == ~0u)
+    OwnerTid = Tid;
+  else if (OwnerTid != Tid)
+    fatalError("MutWsDeque owner operations must come from one thread");
+}
+
+Task<void> MutWsDeque::push(Env &E, Value V) {
+  checkOwner(E.Tid);
+  Value B = co_await E.load(Bottom, MemOrder::Relaxed);
+  Value T = co_await E.load(Top, MemOrder::Acquire);
+  if (B >= Capacity || static_cast<int64_t>(B) - static_cast<int64_t>(T) >=
+                           static_cast<int64_t>(Capacity))
+    fatalError("MutWsDeque capacity exceeded; size the workload");
+
+  co_await E.store(Buf + static_cast<Loc>(B), V, MemOrder::Relaxed);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  co_await E.store(Eids + static_cast<Loc>(B), Ev, MemOrder::Relaxed);
+  co_await E.fence(MemOrder::Release);
+  co_await E.store(Bottom, B + 1, MemOrder::Relaxed);
+  Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Push, V);
+  OwnerShadow[B] = {V, Ev};
+  co_return;
+}
+
+Task<Value> MutWsDeque::take(Env &E) {
+  checkOwner(E.Tid);
+  Value B = co_await E.load(Bottom, MemOrder::Relaxed);
+  int64_t BI = static_cast<int64_t>(B) - 1;
+  co_await E.store(Bottom, static_cast<Value>(BI), MemOrder::Relaxed);
+  // MUTANT(WsDequeTakeNoFence): the seq-cst fence between the bottom
+  // decrement and the top read is removed. The relaxed top read may now be
+  // stale, so the owner can think the bottom element is exclusively its
+  // own while a thief is stealing that very element.
+  Value T = co_await E.load(Top, MemOrder::Relaxed);
+  int64_t TI = static_cast<int64_t>(T);
+
+  if (TI > BI) {
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopEmpty, EmptyVal);
+    co_await E.store(Bottom, static_cast<Value>(BI + 1),
+                     MemOrder::Relaxed);
+    co_return EmptyVal;
+  }
+
+  auto ShadowIt = OwnerShadow.find(static_cast<uint64_t>(BI));
+  if (ShadowIt == OwnerShadow.end())
+    fatalError("MutWsDeque owner shadow out of sync");
+  ShadowEntry Shadow = ShadowIt->second;
+
+  if (TI != BI) {
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopOk, Shadow.Val, 0,
+               Shadow.Ev);
+    OwnerShadow.erase(static_cast<uint64_t>(BI));
+    Value V = co_await E.load(Buf + static_cast<Loc>(BI),
+                              MemOrder::Relaxed);
+    (void)V;
+    co_return Shadow.Val;
+  }
+
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  auto R = co_await E.cas(Top, T, T + 1, MemOrder::SeqCst,
+                          MemOrder::Relaxed);
+  if (R.Success) {
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopOk, Shadow.Val, 0,
+               Shadow.Ev);
+    OwnerShadow.erase(static_cast<uint64_t>(BI));
+    co_await E.store(Bottom, static_cast<Value>(BI + 1),
+                     MemOrder::Relaxed);
+    co_return Shadow.Val;
+  }
+  Mon.retract(E.M, E.Tid, Ev);
+  EventId EmpEv = Mon.reserve(E.M, E.Tid);
+  Mon.commit(E.M, E.Tid, EmpEv, Obj, OpKind::PopEmpty, EmptyVal);
+  co_await E.store(Bottom, static_cast<Value>(BI + 1), MemOrder::Relaxed);
+  co_return EmptyVal;
+}
+
+Task<Value> MutWsDeque::steal(Env &E) {
+  Value T = co_await E.load(Top, MemOrder::Acquire);
+  co_await E.fence(MemOrder::SeqCst);
+  Value B = co_await E.load(Bottom, MemOrder::Acquire);
+  if (static_cast<int64_t>(T) >= static_cast<int64_t>(B)) {
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::StealEmpty, EmptyVal);
+    co_return EmptyVal;
+  }
+  Value V = co_await E.load(Buf + static_cast<Loc>(T), MemOrder::Relaxed);
+  Value PushEv =
+      co_await E.load(Eids + static_cast<Loc>(T), MemOrder::Relaxed);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  auto R = co_await E.cas(Top, T, T + 1, MemOrder::SeqCst,
+                          MemOrder::Relaxed);
+  if (R.Success) {
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Steal, V, 0,
+               static_cast<EventId>(PushEv));
+    co_return V;
+  }
+  Mon.retract(E.M, E.Tid, Ev);
+  co_return FailRaceVal;
+}

@@ -1,0 +1,137 @@
+//===-- check/Mutants.h - Deliberately broken library variants --*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutation testing for the conformance harness: each class here is a
+/// standalone copy of one library with a single seeded bug — a weakened
+/// memory order, an off-by-one traversal, a wrong return value, or a
+/// removed fence (see Scenario.h's Mutation enum and
+/// mutationDescription()). The harness must *kill* every mutant (find a
+/// generated scenario whose exploration reports a violation); a surviving
+/// mutant means the oracle has a blind spot.
+///
+/// The copies drive the same SpecMonitor protocol as the originals, so the
+/// recorded event graphs are honest: a mutant is caught by the machine's
+/// race detector, by the graph-consistency axioms, by the linearization
+/// oracle, or by the observed-result check — never by special-casing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_CHECK_MUTANTS_H
+#define COMPASS_CHECK_MUTANTS_H
+
+#include "check/Scenario.h"
+#include "spec/SpecMonitor.h"
+
+#include <map>
+#include <string>
+
+namespace compass::check {
+
+/// Michael-Scott queue with MsQueueRelaxedPublish or MsQueueSkipDeq.
+class MutMsQueue final : public lib::SimQueue {
+public:
+  MutMsQueue(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name,
+             Mutation Mut);
+
+  sim::Task<void> enqueue(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> dequeue(sim::Env &E) override;
+  unsigned objId() const override { return Obj; }
+
+private:
+  static constexpr unsigned ValOff = 0, EidOff = 1, NextOff = 2;
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  Mutation Mut;
+  rmc::Loc Head, Tail;
+};
+
+/// Treiber stack with TreiberRelaxedPopHead or TreiberPopBelowTop.
+class MutTreiberStack final : public lib::SimStack {
+public:
+  MutTreiberStack(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name,
+                  Mutation Mut);
+
+  sim::Task<void> push(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> pop(sim::Env &E) override;
+  sim::Task<bool> tryPush(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> tryPop(sim::Env &E) override;
+  unsigned objId() const override { return Obj; }
+
+private:
+  static constexpr unsigned ValOff = 0, EidOff = 1, NextOff = 2;
+  sim::Task<rmc::Value> popAttempt(sim::Env &E, rmc::Timestamp *HeadTsOut);
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  Mutation Mut;
+  rmc::Loc HeadLoc;
+};
+
+/// Exchanger with ExchangerEchoValue: the event graph records the true
+/// crossing, but the caller is handed back its own value.
+class MutExchanger {
+public:
+  MutExchanger(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name);
+
+  sim::Task<rmc::Value> exchange(sim::Env &E, rmc::Value V,
+                                 unsigned Attempts = 1);
+  unsigned objId() const { return Obj; }
+
+private:
+  static constexpr unsigned ValOff = 0, TidOff = 1, HoleOff = 2;
+  static constexpr rmc::Value HoleCancel = graph::BottomVal;
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  rmc::Loc Slot;
+};
+
+/// SPSC ring with SpscRelaxedTailPublish.
+class MutSpscRing {
+public:
+  MutSpscRing(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name,
+              unsigned Capacity);
+
+  sim::Task<bool> tryEnqueue(sim::Env &E, rmc::Value V);
+  sim::Task<rmc::Value> dequeue(sim::Env &E);
+  unsigned objId() const { return Obj; }
+
+private:
+  void checkRole(unsigned &Role, unsigned Tid, const char *What);
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  unsigned Capacity;
+  unsigned ProducerTid = ~0u, ConsumerTid = ~0u;
+  rmc::Loc HeadIdx, TailIdx, Buf, Eids;
+};
+
+/// Chase-Lev deque with WsDequeTakeNoFence.
+class MutWsDeque {
+public:
+  MutWsDeque(rmc::Machine &M, spec::SpecMonitor &Mon, std::string Name,
+             unsigned Capacity);
+
+  sim::Task<void> push(sim::Env &E, rmc::Value V);
+  sim::Task<rmc::Value> take(sim::Env &E);
+  sim::Task<rmc::Value> steal(sim::Env &E);
+  unsigned objId() const { return Obj; }
+
+private:
+  void checkOwner(unsigned Tid);
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  unsigned Capacity;
+  unsigned OwnerTid = ~0u;
+  rmc::Loc Top, Bottom, Buf, Eids;
+  struct ShadowEntry {
+    rmc::Value Val;
+    graph::EventId Ev;
+  };
+  std::map<uint64_t, ShadowEntry> OwnerShadow;
+};
+
+} // namespace compass::check
+
+#endif // COMPASS_CHECK_MUTANTS_H

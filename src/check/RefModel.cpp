@@ -1,0 +1,338 @@
+//===-- check/RefModel.cpp - Sequential reference oracles ------------------===//
+
+#include "check/RefModel.h"
+
+#include "spec/Consistency.h"
+
+#include <sstream>
+
+using namespace compass;
+using namespace compass::check;
+using namespace compass::graph;
+
+namespace {
+
+bool isProducerKind(OpKind K) {
+  return K == OpKind::Enq || K == OpKind::Push;
+}
+
+bool isConsumerKind(OpKind K) {
+  return K == OpKind::DeqOk || K == OpKind::PopOk || K == OpKind::Steal;
+}
+
+/// Step 1: injectivity prescan. The axiom checkers (and
+/// EventGraph::matchOfProducer) assume at most one match per event;
+/// duplication mutants violate exactly that, so report it first.
+Verdict injPrescan(const EventGraph &G, unsigned ObjId) {
+  std::vector<EventId> Evs = G.objectEvents(ObjId);
+  for (EventId E : Evs) {
+    const Event &Ev = G.event(E);
+    if (isProducerKind(Ev.Kind)) {
+      std::vector<EventId> Succ = G.soSuccessors(E);
+      unsigned Consumers = 0;
+      for (EventId S : Succ)
+        if (G.event(S).ObjId == ObjId && isConsumerKind(G.event(S).Kind))
+          ++Consumers;
+      if (Consumers > 1) {
+        std::ostringstream OS;
+        OS << "producer " << Ev.str(E) << " consumed " << Consumers
+           << " times:";
+        for (EventId S : Succ)
+          OS << ' ' << G.event(S).str(S);
+        return Verdict::fail("INJ", OS.str());
+      }
+    }
+    if (isConsumerKind(Ev.Kind)) {
+      unsigned Producers = 0;
+      for (EventId P : G.soPredecessors(E))
+        if (G.event(P).ObjId == ObjId && isProducerKind(G.event(P).Kind))
+          ++Producers;
+      if (Producers > 1)
+        return Verdict::fail("INJ", "consumer " + Ev.str(E) +
+                                        " matched to multiple producers");
+    }
+  }
+  return {};
+}
+
+/// Independent sequential oracle used to re-validate linearization
+/// witnesses (step 4): a deque of values interpreted per SeqSpec, written
+/// without reference to the search in spec/Linearization.cpp.
+struct SeqOracle {
+  spec::SeqSpec Spec;
+  std::vector<rmc::Value> State; ///< Index 0 = FIFO head / steal end.
+
+  explicit SeqOracle(spec::SeqSpec Spec) : Spec(Spec) {}
+
+  std::string stateStr() const {
+    std::ostringstream OS;
+    OS << '[';
+    for (size_t I = 0; I != State.size(); ++I)
+      OS << (I ? "," : "") << State[I];
+    OS << ']';
+    return OS.str();
+  }
+
+  /// Applies \p E; false (with \p Why set) when the event is not legal in
+  /// the current state.
+  bool apply(const Event &E, std::string &Why) {
+    auto Illegal = [&](const char *What) {
+      Why = std::string(What) + " at state " + stateStr();
+      return false;
+    };
+    switch (E.Kind) {
+    case OpKind::Enq:
+      if (Spec != spec::SeqSpec::Queue)
+        return Illegal("Enq against non-queue oracle");
+      State.push_back(E.V1);
+      return true;
+    case OpKind::Push:
+      if (Spec == spec::SeqSpec::Queue)
+        return Illegal("Push against queue oracle");
+      State.push_back(E.V1);
+      return true;
+    case OpKind::DeqOk:
+      if (Spec != spec::SeqSpec::Queue || State.empty() ||
+          State.front() != E.V1)
+        return Illegal("DeqOk of non-head value");
+      State.erase(State.begin());
+      return true;
+    case OpKind::PopOk:
+      if (Spec == spec::SeqSpec::Queue || State.empty() ||
+          State.back() != E.V1)
+        return Illegal("PopOk of non-top value");
+      State.pop_back();
+      return true;
+    case OpKind::Steal:
+      if (Spec != spec::SeqSpec::WsDeque || State.empty() ||
+          State.front() != E.V1)
+        return Illegal("Steal of non-top value");
+      State.erase(State.begin());
+      return true;
+    case OpKind::DeqEmpty:
+      if (Spec != spec::SeqSpec::Queue || !State.empty())
+        return Illegal("DeqEmpty at non-empty state");
+      return true;
+    case OpKind::PopEmpty:
+      if (Spec == spec::SeqSpec::Queue || !State.empty())
+        return Illegal("PopEmpty at non-empty state");
+      return true;
+    case OpKind::StealEmpty:
+      if (Spec != spec::SeqSpec::WsDeque || !State.empty())
+        return Illegal("StealEmpty at non-empty state");
+      return true;
+    default:
+      return Illegal("foreign event kind");
+    }
+  }
+};
+
+/// Steps 3-4: witness search plus independent oracle replay.
+Verdict checkWitness(const EventGraph &G, unsigned ObjId,
+                     spec::SeqSpec Spec, spec::LinearizeLimits Limits,
+                     Verdict &Out) {
+  spec::LinearizationResult R =
+      spec::findLinearization(G, ObjId, Spec, Limits);
+  Out.LinStates = R.StatesExplored;
+  Out.LinAborted = R.Aborted;
+  if (R.Aborted)
+    return {}; // Unknown: budget ran out; the driver counts these.
+  if (!R.Found) {
+    std::ostringstream OS;
+    OS << "no total order ⊇ lhb is explained by the sequential spec ("
+       << R.StatesExplored << " states searched); history:";
+    for (EventId E : G.objectEvents(ObjId))
+      OS << ' ' << G.event(E).str(E);
+    return Verdict::fail("WITNESS", OS.str());
+  }
+  // Re-validate the witness against the independent oracle.
+  SeqOracle O(Spec);
+  for (size_t I = 0; I != R.Order.size(); ++I) {
+    std::string Why;
+    if (!O.apply(G.event(R.Order[I]), Why)) {
+      std::ostringstream OS;
+      OS << "witness step " << I << " (" << G.event(R.Order[I]).str(R.Order[I])
+         << ") rejected by reference oracle: " << Why;
+      return Verdict::fail("ORACLE", OS.str());
+    }
+  }
+  if (R.Order.size() != G.objectEvents(ObjId).size())
+    return Verdict::fail("ORACLE", "witness is not a permutation of the "
+                                   "object's history");
+  return {};
+}
+
+/// The expected committed event for one observed op, or "skip" when the op
+/// legitimately committed nothing.
+struct Expect {
+  bool Skip = false;
+  OpKind Kind = OpKind::Invalid;
+  rmc::Value V1 = 0;
+  bool CheckV2 = false;
+  rmc::Value V2 = 0;
+};
+
+Expect expectFor(const Observed &O, lib::ContainerFamily F) {
+  Expect X;
+  switch (O.Code) {
+  case OpCode::Enq:
+    if (O.Result == 0) { // SpscRing tryEnqueue found the ring full.
+      X.Skip = true;
+      return X;
+    }
+    X.Kind = OpKind::Enq;
+    X.V1 = O.Arg;
+    return X;
+  case OpCode::Push:
+    if (O.Result == FailRaceVal) { // ElimStack rounds exhausted.
+      X.Skip = true;
+      return X;
+    }
+    X.Kind = OpKind::Push;
+    X.V1 = O.Arg;
+    return X;
+  case OpCode::Deq:
+    X.Kind = O.Result == EmptyVal ? OpKind::DeqEmpty : OpKind::DeqOk;
+    X.V1 = O.Result;
+    return X;
+  case OpCode::Pop:
+  case OpCode::Take:
+    if (O.Result == FailRaceVal) {
+      X.Skip = true;
+      return X;
+    }
+    X.Kind = O.Result == EmptyVal ? OpKind::PopEmpty : OpKind::PopOk;
+    X.V1 = O.Result;
+    return X;
+  case OpCode::Steal:
+    if (O.Result == FailRaceVal) {
+      X.Skip = true;
+      return X;
+    }
+    X.Kind = O.Result == EmptyVal ? OpKind::StealEmpty : OpKind::Steal;
+    X.V1 = O.Result;
+    return X;
+  case OpCode::Exchange:
+    X.Kind = OpKind::Exchange;
+    X.V1 = O.Arg;
+    X.CheckV2 = true;
+    X.V2 = O.Result; // BottomVal on failure.
+    return X;
+  }
+  (void)F;
+  X.Skip = true;
+  return X;
+}
+
+/// Step 5: per-thread observed results vs committed events in program
+/// order. Catches mutants whose graphs are consistent but whose return
+/// values lie (e.g. ExchangerEchoValue).
+Verdict obsCheck(const EventGraph &G, unsigned ObjId,
+                 const std::vector<std::vector<Observed>> &PerThread) {
+  // Events per thread, commit order (== program order within a thread).
+  std::vector<std::vector<EventId>> ByThread(PerThread.size());
+  for (EventId E : G.objectEvents(ObjId)) {
+    unsigned T = G.event(E).Thread;
+    if (T < ByThread.size())
+      ByThread[T].push_back(E);
+  }
+  for (unsigned T = 0; T != PerThread.size(); ++T) {
+    size_t Pos = 0;
+    for (size_t I = 0; I != PerThread[T].size(); ++I) {
+      const Observed &O = PerThread[T][I];
+      Expect X = expectFor(O, lib::ContainerFamily::Queue);
+      if (X.Skip)
+        continue;
+      if (Pos >= ByThread[T].size()) {
+        std::ostringstream OS;
+        OS << "thread " << T << " op #" << I << " (" << opCodeName(O.Code)
+           << " -> " << O.Result
+           << ") has no committed event (expected " << opKindName(X.Kind)
+           << ")";
+        return Verdict::fail("OBS", OS.str());
+      }
+      const Event &Ev = G.event(ByThread[T][Pos]);
+      ++Pos;
+      bool KindOk = Ev.Kind == X.Kind;
+      bool V1Ok = !KindOk || Ev.Kind == OpKind::DeqEmpty ||
+                  Ev.Kind == OpKind::PopEmpty ||
+                  Ev.Kind == OpKind::StealEmpty || Ev.V1 == X.V1;
+      bool V2Ok = !X.CheckV2 || Ev.V2 == X.V2;
+      if (!KindOk || !V1Ok || !V2Ok) {
+        std::ostringstream OS;
+        OS << "thread " << T << " op #" << I << " (" << opCodeName(O.Code);
+        if (O.Arg)
+          OS << ':' << O.Arg;
+        OS << ") observed result " << O.Result
+           << " but committed event is " << Ev.str(ByThread[T][Pos - 1]);
+        return Verdict::fail("OBS", OS.str());
+      }
+    }
+    if (Pos != ByThread[T].size()) {
+      std::ostringstream OS;
+      OS << "thread " << T << " committed " << ByThread[T].size()
+         << " events for " << Pos << " observed-op expectations";
+      return Verdict::fail("OBS", OS.str());
+    }
+  }
+  return {};
+}
+
+} // namespace
+
+Verdict check::checkExecution(
+    const EventGraph &G, unsigned ObjId, lib::ContainerFamily Family,
+    const std::vector<std::vector<Observed>> &PerThread,
+    spec::LinearizeLimits Limits, SpecStrength Strength) {
+  Verdict Out;
+
+  // Exchangers: pairing axioms + OBS; no linearization spec.
+  if (Family == lib::ContainerFamily::Exchanger) {
+    spec::CheckResult C = spec::checkExchangerConsistent(G, ObjId);
+    if (!C.ok())
+      return Verdict::fail("CONSISTENCY", C.str());
+    return obsCheck(G, ObjId, PerThread);
+  }
+
+  Verdict V = injPrescan(G, ObjId);
+  if (!V.Ok)
+    return V;
+
+  spec::CheckResult C;
+  spec::SeqSpec Spec;
+  switch (Family) {
+  case lib::ContainerFamily::Queue:
+  case lib::ContainerFamily::SpscRing:
+    C = spec::checkQueueConsistent(G, ObjId);
+    Spec = spec::SeqSpec::Queue;
+    break;
+  case lib::ContainerFamily::Stack:
+    C = spec::checkStackConsistent(G, ObjId);
+    Spec = spec::SeqSpec::Stack;
+    break;
+  case lib::ContainerFamily::WsDeque:
+    C = spec::checkWsDequeConsistent(G, ObjId);
+    Spec = spec::SeqSpec::WsDeque;
+    break;
+  default:
+    return Verdict::fail("INTERNAL", "unhandled family");
+  }
+  if (!C.ok())
+    return Verdict::fail("CONSISTENCY", C.str());
+
+  // Steps 3-4 only at LAT_hist_hb strength: an HbOnly library (the relaxed
+  // HW queue) is *specified* to admit witness-less executions (§3.2).
+  if (Strength == SpecStrength::Linearizable) {
+    V = checkWitness(G, ObjId, Spec, Limits, Out);
+    if (!V.Ok) {
+      V.LinStates = Out.LinStates;
+      V.LinAborted = Out.LinAborted;
+      return V;
+    }
+  }
+
+  V = obsCheck(G, ObjId, PerThread);
+  V.LinStates = Out.LinStates;
+  V.LinAborted = Out.LinAborted;
+  return V;
+}

@@ -1,0 +1,90 @@
+//===-- check/RefModel.h - Sequential reference oracles ---------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference side of the conformance harness: given one execution's
+/// recorded event graph and the per-thread observed results, decide whether
+/// the execution is explained by the library's sequential specification.
+/// The pipeline per execution (DESIGN.md §7):
+///
+///  1. INJ prescan — duplicated/multi-matched so edges are reported before
+///     any axiom checker runs (those assume injectivity);
+///  2. graph consistency — the Yacovet-style axioms of spec/Consistency.h;
+///  3. linearization witness — spec::findLinearization searches for a total
+///     order `to ⊇ lhb` interpretable by the sequential spec (the paper's
+///     LAT_hist_hb reduction, §3.3), under a state budget. Run only for
+///     libraries *specified* at that strength (libStrength): the relaxed
+///     Herlihy-Wing queue is checked at LAT_hb only, since the paper's
+///     §3.2 separation means a witness need not exist for it;
+///  4. oracle replay — the witness is re-executed against an *independent*
+///     sequential oracle (FIFO queue / LIFO stack / deque), so a bug in the
+///     search itself cannot certify a bogus witness;
+///  5. OBS — each thread's observed results must match its committed
+///     events in program order (catches mutants that corrupt return values
+///     while leaving the graph consistent).
+///
+/// Exchangers have no linearization spec; steps 3-4 are replaced by the
+/// pairing oracle inside checkExchangerConsistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_CHECK_REFMODEL_H
+#define COMPASS_CHECK_REFMODEL_H
+
+#include "check/Scenario.h"
+#include "graph/EventGraph.h"
+#include "spec/Linearization.h"
+
+#include <string>
+#include <vector>
+
+namespace compass::check {
+
+/// One op as the harness observed it at runtime.
+struct Observed {
+  OpCode Code;
+  rmc::Value Arg = 0;    ///< Producer/exchange payload.
+  rmc::Value Result = 0; ///< What the op returned (see Harness.h mapping).
+};
+
+/// Structured conformance verdict for one execution.
+struct Verdict {
+  bool Ok = true;
+  std::string Rule;   ///< Violated rule ("INJ", "QUEUE-FIFO", "WITNESS",
+                      ///< "ORACLE", "OBS", "RACE", ...). Empty when Ok.
+  std::string Detail; ///< Human-readable mismatch diagnostics.
+  uint64_t LinStates = 0; ///< Linearization search effort.
+  bool LinAborted = false; ///< The state budget ran out (result unknown;
+                           ///< treated as pass, counted by the driver).
+
+  std::string str() const {
+    return Ok ? std::string("ok") : Rule + ": " + Detail;
+  }
+
+  static Verdict fail(std::string Rule, std::string Detail) {
+    Verdict V;
+    V.Ok = false;
+    V.Rule = std::move(Rule);
+    V.Detail = std::move(Detail);
+    return V;
+  }
+};
+
+/// Checks one execution of object \p ObjId in \p G against \p Family's
+/// reference model; see the file comment for the pipeline. \p PerThread
+/// holds each scenario thread's observed ops in program order (indexed by
+/// *scenario* thread id == rmc thread id). \p Strength selects how much of
+/// the pipeline applies: HbOnly skips steps 3-4 (no linearization witness
+/// is demanded — the LAT_hb-only libraries legitimately lack one).
+Verdict checkExecution(const graph::EventGraph &G, unsigned ObjId,
+                       lib::ContainerFamily Family,
+                       const std::vector<std::vector<Observed>> &PerThread,
+                       spec::LinearizeLimits Limits = {200000},
+                       SpecStrength Strength = SpecStrength::Linearizable);
+
+} // namespace compass::check
+
+#endif // COMPASS_CHECK_REFMODEL_H

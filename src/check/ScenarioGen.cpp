@@ -1,0 +1,159 @@
+//===-- check/ScenarioGen.cpp - Seeded scenario sampling -------------------===//
+
+#include "check/ScenarioGen.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace compass;
+using namespace compass::check;
+
+uint64_t check::scenarioSeed(uint64_t SweepSeed, Lib L, unsigned Index) {
+  // Mix sweep seed, library, and index through SplitMix64 so per-scenario
+  // streams are independent; +1 keeps a 0 sweep seed from collapsing.
+  uint64_t State = SweepSeed + 1;
+  splitMix64(State);
+  State ^= (static_cast<uint64_t>(L) + 1) * 0x9e3779b97f4a7c15ull;
+  splitMix64(State);
+  State ^= (static_cast<uint64_t>(Index) + 1) * 0xbf58476d1ce4e5b9ull;
+  return splitMix64(State);
+}
+
+namespace {
+
+/// Emits a fresh producer value: distinct small integers 1, 2, 3, ...
+struct ValuePool {
+  rmc::Value Next = 1;
+  rmc::Value fresh() { return Next++; }
+};
+
+void genQueueLike(Scenario &S, Rng &R, const GenOptions &O, bool Stack) {
+  ValuePool Vals;
+  unsigned Threads =
+      static_cast<unsigned>(R.range(O.MinThreads, O.MaxThreads));
+  S.Threads.resize(Threads);
+  unsigned Producers = 0;
+  for (auto &T : S.Threads) {
+    unsigned Ops =
+        static_cast<unsigned>(R.range(O.MinOpsPerThread, O.MaxOpsPerThread));
+    for (unsigned I = 0; I != Ops; ++I) {
+      if (R.chance(1, 2)) {
+        T.push_back({Stack ? OpCode::Push : OpCode::Enq, Vals.fresh()});
+        ++Producers;
+      } else {
+        T.push_back({Stack ? OpCode::Pop : OpCode::Deq, 0});
+      }
+    }
+  }
+  // A scenario with no producer exercises only empty paths; promote the
+  // first op so most scenarios move data.
+  if (Producers == 0)
+    S.Threads[0][0] = {Stack ? OpCode::Push : OpCode::Enq, Vals.fresh()};
+  // HwQueue capacity bounds lifetime enqueues.
+  S.Capacity = S.numOps() + 1;
+}
+
+void genExchanger(Scenario &S, Rng &R, const GenOptions &O) {
+  ValuePool Vals;
+  unsigned Threads =
+      static_cast<unsigned>(R.range(O.MinThreads, O.MaxThreads));
+  S.Threads.resize(Threads);
+  for (auto &T : S.Threads) {
+    unsigned Ops = static_cast<unsigned>(
+        R.range(std::min(O.MinOpsPerThread, 2u), 2)); // Keep rounds small.
+    if (Ops == 0)
+      Ops = 1;
+    for (unsigned I = 0; I != Ops; ++I)
+      T.push_back({OpCode::Exchange, Vals.fresh()});
+  }
+}
+
+void genSpscRing(Scenario &S, Rng &R, const GenOptions &O) {
+  ValuePool Vals;
+  S.Threads.resize(2); // Thread 0 produces, thread 1 consumes.
+  unsigned Enqs =
+      static_cast<unsigned>(R.range(O.MinOpsPerThread, O.MaxOpsPerThread));
+  unsigned Deqs =
+      static_cast<unsigned>(R.range(O.MinOpsPerThread, O.MaxOpsPerThread));
+  for (unsigned I = 0; I != Enqs; ++I)
+    S.Threads[0].push_back({OpCode::Enq, Vals.fresh()});
+  for (unsigned I = 0; I != Deqs; ++I)
+    S.Threads[1].push_back({OpCode::Deq, 0});
+  S.Capacity = static_cast<unsigned>(R.range(1, 3));
+}
+
+void genWsDeque(Scenario &S, Rng &R, const GenOptions &O) {
+  ValuePool Vals;
+  unsigned Thieves = static_cast<unsigned>(
+      R.range(std::max(1u, O.MinThreads - 1), std::max(1u, O.MaxThreads - 1)));
+  S.Threads.resize(1 + Thieves);
+  unsigned Pushes = 0;
+  if (R.chance(1, 2)) {
+    // Phased owner: all pushes, then takes — the classic usage pattern,
+    // and the shape where take's fence against concurrent steals matters
+    // (a take over a multi-element deque whose top moved underneath it).
+    Pushes =
+        static_cast<unsigned>(R.range(1, std::max(2u, O.MaxOpsPerThread - 1)));
+    unsigned Takes =
+        static_cast<unsigned>(R.range(1, std::max(1u, O.MaxOpsPerThread - 1)));
+    for (unsigned I = 0; I != Pushes; ++I)
+      S.Threads[0].push_back({OpCode::Push, Vals.fresh()});
+    for (unsigned I = 0; I != Takes; ++I)
+      S.Threads[0].push_back({OpCode::Take, 0});
+  } else {
+    // Mixed owner: random push/take interleaving.
+    unsigned OwnerOps =
+        static_cast<unsigned>(R.range(O.MinOpsPerThread, O.MaxOpsPerThread));
+    for (unsigned I = 0; I != OwnerOps; ++I) {
+      if (R.chance(3, 5)) {
+        S.Threads[0].push_back({OpCode::Push, Vals.fresh()});
+        ++Pushes;
+      } else {
+        S.Threads[0].push_back({OpCode::Take, 0});
+      }
+    }
+    if (Pushes == 0) {
+      S.Threads[0].insert(S.Threads[0].begin(), {OpCode::Push, Vals.fresh()});
+      ++Pushes;
+    }
+  }
+  for (unsigned T = 1; T != S.Threads.size(); ++T) {
+    unsigned Steals = static_cast<unsigned>(
+        R.range(1, std::max(1u, O.MaxOpsPerThread - 1)));
+    for (unsigned I = 0; I != Steals; ++I)
+      S.Threads[T].push_back({OpCode::Steal, 0});
+  }
+  S.Capacity = Pushes + 1;
+}
+
+} // namespace
+
+Scenario check::generateScenario(Lib L, uint64_t Seed, const GenOptions &O) {
+  Rng R(Seed);
+  Scenario S;
+  S.L = L;
+  S.Seed = Seed;
+  S.PreemptionBound =
+      static_cast<unsigned>(R.range(O.MinPreemptions, O.MaxPreemptions));
+  switch (L) {
+  case Lib::MsQueue:
+  case Lib::HwQueue:
+    genQueueLike(S, R, O, /*Stack=*/false);
+    break;
+  case Lib::TreiberStack:
+  case Lib::ElimStack:
+    genQueueLike(S, R, O, /*Stack=*/true);
+    break;
+  case Lib::Exchanger:
+    genExchanger(S, R, O);
+    break;
+  case Lib::SpscRing:
+    genSpscRing(S, R, O);
+    break;
+  case Lib::WsDeque:
+    genWsDeque(S, R, O);
+    break;
+  }
+  return S;
+}

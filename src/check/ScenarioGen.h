@@ -1,0 +1,59 @@
+//===-- check/ScenarioGen.h - Seeded scenario sampling ----------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Lincheck-style generator: samples bounded concurrent scenarios
+/// (thread count, ops per thread, op mix, value domain) for each library,
+/// deterministically from a 64-bit seed. Shapes respect each library's
+/// contract: the SPSC ring gets exactly one producer and one consumer, the
+/// work-stealing deque one owner plus thief threads, exchangers only
+/// exchange ops. Producer values are distinct small integers so reference
+/// oracles can match elements by value (the classic Lincheck trick).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_CHECK_SCENARIOGEN_H
+#define COMPASS_CHECK_SCENARIOGEN_H
+
+#include "check/Scenario.h"
+
+namespace compass::check {
+
+/// Bounds for scenario sampling. The defaults keep exhaustive exploration
+/// of one scenario in the hundreds-to-thousands of executions.
+struct GenOptions {
+  unsigned MinThreads = 2;
+  unsigned MaxThreads = 3;
+  unsigned MinOpsPerThread = 1;
+  unsigned MaxOpsPerThread = 3;
+  unsigned MinPreemptions = 1;
+  unsigned MaxPreemptions = 2;
+
+  /// Bounds tuned for mutation hunting: denser scenarios (more ops, more
+  /// contention) that give the shrinker room to demonstrate reduction.
+  static GenOptions hunting() {
+    GenOptions O;
+    O.MinThreads = 2;
+    O.MaxThreads = 3;
+    O.MinOpsPerThread = 2;
+    O.MaxOpsPerThread = 3;
+    O.MinPreemptions = 2;
+    O.MaxPreemptions = 2;
+    return O;
+  }
+};
+
+/// Deterministically samples a scenario for \p L from \p Seed.
+Scenario generateScenario(Lib L, uint64_t Seed, const GenOptions &O = {});
+
+/// The per-scenario seed for the \p Index-th scenario of \p L under sweep
+/// seed \p SweepSeed (a SplitMix64 mix, so scenario streams for different
+/// libraries and indices are independent).
+uint64_t scenarioSeed(uint64_t SweepSeed, Lib L, unsigned Index);
+
+} // namespace compass::check
+
+#endif // COMPASS_CHECK_SCENARIOGEN_H

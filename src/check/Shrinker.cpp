@@ -1,0 +1,152 @@
+//===-- check/Shrinker.cpp - Counterexample minimization ------------------===//
+
+#include "check/Shrinker.h"
+
+#include <map>
+#include <sstream>
+
+using namespace compass;
+using namespace compass::check;
+
+bool check::scenarioFails(const Scenario &S, Mutation Mut,
+                          uint64_t MaxExecutions,
+                          std::vector<unsigned> &FailingOut) {
+  sim::Explorer::Options Opts = scenarioOptions(S, MaxExecutions, 1);
+  Opts.StopOnViolation = true; // Hunting, not counting.
+  sim::Explorer::Summary Sum = exploreSerial(makeWorkload(S, Mut, Opts));
+  if (!Sum.HasViolation)
+    return false;
+  FailingOut = Sum.firstViolationDecisions();
+  return true;
+}
+
+namespace {
+
+/// Renumbers producer/exchange payloads to 1,2,3,... in first-appearance
+/// order; true when anything changed.
+bool renumberValues(Scenario &S) {
+  std::map<rmc::Value, rmc::Value> Map;
+  bool Changed = false;
+  for (auto &T : S.Threads)
+    for (Op &O : T) {
+      if (O.Code != OpCode::Enq && O.Code != OpCode::Push &&
+          O.Code != OpCode::Exchange)
+        continue;
+      auto It = Map.find(O.Arg);
+      if (It == Map.end())
+        It = Map.emplace(O.Arg, static_cast<rmc::Value>(Map.size() + 1)).first;
+      if (O.Arg != It->second) {
+        O.Arg = It->second;
+        Changed = true;
+      }
+    }
+  return Changed;
+}
+
+struct ShrinkContext {
+  Mutation Mut;
+  const ShrinkOptions &O;
+  uint64_t Tried = 0;
+
+  bool budget() const { return Tried < O.MaxCandidates; }
+
+  /// Explores \p Cand; on failure-found, commits it to \p Cur / \p Trace.
+  bool accept(const Scenario &Cand, Scenario &Cur,
+              std::vector<unsigned> &Trace) {
+    ++Tried;
+    std::vector<unsigned> T;
+    if (!scenarioFails(Cand, Mut, O.MaxExecutionsPerCandidate, T))
+      return false;
+    Cur = Cand;
+    Trace = std::move(T);
+    return true;
+  }
+
+  /// Applies the first single-step reduction (drop a thread, then drop an
+  /// op) that still fails; false when none does or the budget ran out.
+  bool reduceOnce(Scenario &Cur, std::vector<unsigned> &Trace) {
+    if (Cur.Threads.size() > 1)
+      for (size_t T = 0; T != Cur.Threads.size() && budget(); ++T) {
+        Scenario Cand = Cur;
+        Cand.Threads.erase(Cand.Threads.begin() + T);
+        if (Cand.numOps() && accept(Cand, Cur, Trace))
+          return true;
+      }
+    for (size_t T = 0; T != Cur.Threads.size(); ++T)
+      for (size_t I = 0; I != Cur.Threads[T].size(); ++I) {
+        if (!budget())
+          return false;
+        Scenario Cand = Cur;
+        Cand.Threads[T].erase(Cand.Threads[T].begin() + I);
+        if (Cand.Threads[T].empty())
+          Cand.Threads.erase(Cand.Threads.begin() + T);
+        if (Cand.numOps() && accept(Cand, Cur, Trace))
+          return true;
+      }
+    return false;
+  }
+};
+
+} // namespace
+
+ShrinkResult check::shrinkCounterexample(const Scenario &S, Mutation Mut,
+                                         const std::vector<unsigned> &Decisions,
+                                         const ShrinkOptions &O) {
+  ShrinkResult R;
+  R.OpsBefore = S.numOps();
+  R.DecisionsBefore = Decisions.size();
+
+  ShrinkContext Ctx{Mut, O};
+  Scenario Cur = S;
+  std::vector<unsigned> Trace = Decisions;
+
+  // Passes 1-2: structural reduction to a fixpoint.
+  while (Ctx.budget() && Ctx.reduceOnce(Cur, Trace))
+    ;
+
+  // Pass 3: payload renumbering (kept only if the candidate still fails).
+  {
+    Scenario Cand = Cur;
+    if (renumberValues(Cand) && Ctx.budget())
+      Ctx.accept(Cand, Cur, Trace);
+  }
+
+  // Pass 4: canonicalize the trace, then find the shortest failing prefix
+  // (missing decisions replay as alternative 0). The winning prefix's tail
+  // is then padded back from its recorded execution — zeroing every
+  // decision the prefix left implicit — so the final trace both has a
+  // canonical all-zero tail and replays divergence-free (the corpus
+  // contract, tests/CorpusTest.cpp).
+  sim::Explorer::Options ROpts =
+      scenarioOptions(Cur, O.MaxExecutionsPerCandidate, 1);
+  TraceDiagnosis Full = diagnoseTrace(Cur, Mut, ROpts, Trace);
+  if (Full.failing())
+    Trace = Full.Executed;
+  TraceDiagnosis Best = Full;
+  for (size_t Len = 0; Len < Trace.size(); ++Len) {
+    std::vector<unsigned> Prefix(Trace.begin(), Trace.begin() + Len);
+    TraceDiagnosis D = diagnoseTrace(Cur, Mut, ROpts, Prefix);
+    ++Ctx.Tried;
+    if (D.failing()) {
+      Best = std::move(D);
+      Trace = Best.Executed;
+      break;
+    }
+  }
+
+  R.Min = std::move(Cur);
+  R.Decisions = std::move(Trace);
+  R.V = Best.V;
+  R.OpsAfter = R.Min.numOps();
+  R.DecisionsAfter = R.Decisions.size();
+  R.CandidatesTried = Ctx.Tried;
+  return R;
+}
+
+std::string ShrinkResult::str() const {
+  std::ostringstream OS;
+  OS << "ops " << OpsBefore << " -> " << OpsAfter << ", decisions "
+     << DecisionsBefore << " -> " << DecisionsAfter << " ("
+     << CandidatesTried << " candidates)";
+  return OS.str();
+}

@@ -1,0 +1,72 @@
+//===-- check/Shrinker.h - Counterexample minimization ----------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging for the conformance harness: given a scenario that
+/// fails against a (mutated) library, greedily shrink it to a smallest
+/// still-failing reproduction. The passes, each validated by a fresh
+/// bounded exploration of the candidate (not a replay — the decision tree
+/// changes shape whenever the program does):
+///
+///  1. drop whole threads;
+///  2. drop single operations;
+///  3. renumber producer payloads to 1,2,3,... (first-appearance order);
+///  4. canonicalize + truncate the decision trace: replay the final
+///     scenario's failing trace once to canonicalize it, then repeatedly
+///     drop trailing decisions while the truncated trace (with alternative
+///     0 filled in past the end) still fails on replay.
+///
+/// The result carries before/after sizes so callers (and tests) can assert
+/// the shrink made actual progress.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_CHECK_SHRINKER_H
+#define COMPASS_CHECK_SHRINKER_H
+
+#include "check/Harness.h"
+
+namespace compass::check {
+
+struct ShrinkOptions {
+  /// Exploration budget per candidate scenario (StopOnViolation is on, so
+  /// most failing candidates stop much earlier).
+  uint64_t MaxExecutionsPerCandidate = 50000;
+  /// Give up after this many candidate explorations.
+  uint64_t MaxCandidates = 500;
+};
+
+struct ShrinkResult {
+  Scenario Min;                    ///< Smallest still-failing scenario.
+  std::vector<unsigned> Decisions; ///< Minimal failing replay input for Min.
+  Verdict V;                       ///< Verdict of the final failing replay.
+  unsigned OpsBefore = 0, OpsAfter = 0;
+  size_t DecisionsBefore = 0, DecisionsAfter = 0;
+  uint64_t CandidatesTried = 0;
+
+  bool reducedOps() const { return OpsAfter < OpsBefore; }
+  bool reducedDecisions() const { return DecisionsAfter < DecisionsBefore; }
+
+  /// `ops 6 -> 3, decisions 41 -> 17`.
+  std::string str() const;
+};
+
+/// True when exploring \p S against \p Mut finds a violating execution
+/// within \p MaxExecutions; on success \p FailingOut receives the first
+/// violation's decision trace.
+bool scenarioFails(const Scenario &S, Mutation Mut, uint64_t MaxExecutions,
+                   std::vector<unsigned> &FailingOut);
+
+/// Shrinks \p S (known to fail against \p Mut via \p Decisions) per the
+/// file comment. The returned scenario and trace are guaranteed to still
+/// fail: the final replay's verdict is in ShrinkResult::V.
+ShrinkResult shrinkCounterexample(const Scenario &S, Mutation Mut,
+                                  const std::vector<unsigned> &Decisions,
+                                  const ShrinkOptions &O = {});
+
+} // namespace compass::check
+
+#endif // COMPASS_CHECK_SHRINKER_H

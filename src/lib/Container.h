@@ -26,6 +26,21 @@
 
 namespace compass::lib {
 
+/// The behavioural family a container belongs to. The conformance harness
+/// (src/check/) keys its sequential reference oracle and scenario shapes on
+/// this, so every adapter over a library names its family explicitly.
+enum class ContainerFamily : uint8_t {
+  Queue,     ///< FIFO: MsQueue, HwQueue (LAT_hb), LockedQueue.
+  Stack,     ///< LIFO: TreiberStack, ElimStack, LockedStack.
+  Exchanger, ///< Pairwise value crossing.
+  SpscRing,  ///< Single-producer single-consumer FIFO ring.
+  WsDeque    ///< Owner push/take at the bottom, thieves steal at the top.
+};
+
+/// Stable lower-case name for \p F ("queue", "stack", ...), used in
+/// diagnostics and corpus files.
+const char *containerFamilyName(ContainerFamily F);
+
 /// A multi-producer multi-consumer queue on the simulated machine.
 class SimQueue {
 public:

@@ -31,6 +31,7 @@
 #include "sim/Explorer.h"
 
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -95,30 +96,39 @@ namespace detail {
 
 /// ChoiceSource that replays a fixed decision sequence. Decisions past the
 /// end of the trace fall back to alternative 0 and set the divergence flag.
+/// Every decision actually taken (including fallbacks and clamps) is
+/// recorded, so callers can canonicalize a stale or truncated trace into
+/// one that replays divergence-free.
 class ReplayChoice final : public ChoiceSource {
 public:
   explicit ReplayChoice(std::vector<unsigned> Decisions)
       : Decisions(std::move(Decisions)) {}
 
   unsigned choose(unsigned Count, const char *) override {
+    unsigned Pick = 0;
     if (Pos >= Decisions.size()) {
       DivergedPastEnd = true;
-      return 0;
+    } else {
+      Pick = Decisions[Pos++];
+      if (Pick >= Count) {
+        // The trace does not fit this program (arity shrank); clamp rather
+        // than crash so replays of slightly stale traces still run.
+        DivergedPastEnd = true;
+        Pick = Count - 1;
+      }
     }
-    unsigned Pick = Decisions[Pos++];
-    if (Pick >= Count) {
-      // The trace does not fit this program (arity shrank); clamp rather
-      // than crash so replays of slightly stale traces still run.
-      DivergedPastEnd = true;
-      Pick = Count - 1;
-    }
+    Recorded.push_back(Pick);
     return Pick;
   }
 
   bool diverged() const { return DivergedPastEnd; }
 
+  /// The decisions actually taken during the run, in order.
+  const std::vector<unsigned> &recorded() const { return Recorded; }
+
 private:
   std::vector<unsigned> Decisions;
+  std::vector<unsigned> Recorded;
   size_t Pos = 0;
   bool DivergedPastEnd = false;
 };
@@ -128,9 +138,12 @@ private:
 /// Deterministically re-executes the single decision sequence \p Decisions
 /// of \p W — the counterexample reproduction entry point. The sequence is
 /// the plain-index form produced by Explorer::currentDecisions() or
-/// Summary::firstViolationDecisions().
+/// Summary::firstViolationDecisions(). When \p ExecutedOut is non-null it
+/// receives the decisions actually taken (fallbacks/clamps included), a
+/// canonical trace that replays the same execution divergence-free.
 inline ReplayResult replay(const Workload &W,
-                           const std::vector<unsigned> &Decisions) {
+                           const std::vector<unsigned> &Decisions,
+                           std::vector<unsigned> *ExecutedOut = nullptr) {
   detail::ReplayChoice Choice(Decisions);
   Workload::Body Body = W.makeBody();
   rmc::Machine M(Choice);
@@ -143,6 +156,25 @@ inline ReplayResult replay(const Workload &W,
   if (Body.Check)
     Out.CheckOk = Body.Check(M, S, Out.Run);
   Out.Diverged = Choice.diverged();
+  if (ExecutedOut)
+    *ExecutedOut = Choice.recorded();
+  return Out;
+}
+
+/// Renders \p Decisions as a copy-pasteable C++ call — paste it next to the
+/// workload definition to re-execute a reported counterexample:
+///   sim::replay(W, {0,1,2});
+inline std::string formatReplayCall(const std::vector<unsigned> &Decisions,
+                                    const char *WorkloadName = "W") {
+  std::string Out = "sim::replay(";
+  Out += WorkloadName;
+  Out += ", {";
+  for (size_t I = 0; I != Decisions.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += std::to_string(Decisions[I]);
+  }
+  Out += "});";
   return Out;
 }
 

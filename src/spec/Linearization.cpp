@@ -23,6 +23,8 @@ struct Search {
   std::set<std::pair<uint64_t, std::deque<rmc::Value>>> Visited;
   std::vector<EventId> Order;
   uint64_t States = 0;
+  uint64_t MaxStates = 0; ///< 0 = unlimited.
+  bool Aborted = false;
 
   Search(const EventGraph &G, SeqSpec Spec) : G(G), Spec(Spec) {}
 
@@ -73,6 +75,10 @@ struct Search {
 
   bool dfs(uint64_t Chosen, const std::deque<rmc::Value> &State) {
     ++States;
+    if (MaxStates && States > MaxStates) {
+      Aborted = true;
+      return false;
+    }
     unsigned N = static_cast<unsigned>(Evs.size());
     if (Chosen == (N == 64 ? ~0ull : (1ull << N) - 1))
       return true;
@@ -99,8 +105,10 @@ struct Search {
 } // namespace
 
 LinearizationResult spec::findLinearization(const EventGraph &G,
-                                            unsigned ObjId, SeqSpec Spec) {
+                                            unsigned ObjId, SeqSpec Spec,
+                                            LinearizeLimits Limits) {
   Search S(G, Spec);
+  S.MaxStates = Limits.MaxStates;
   S.Evs = G.objectEvents(ObjId);
   unsigned N = static_cast<unsigned>(S.Evs.size());
   if (N > 64)
@@ -116,5 +124,6 @@ LinearizationResult spec::findLinearization(const EventGraph &G,
   R.Found = S.dfs(0, {});
   R.Order = std::move(S.Order);
   R.StatesExplored = S.States;
+  R.Aborted = S.Aborted;
   return R;
 }

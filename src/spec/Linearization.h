@@ -40,13 +40,24 @@ struct LinearizationResult {
   std::vector<graph::EventId> Order;
   /// Search effort, for reporting.
   uint64_t StatesExplored = 0;
+  /// The state budget (LinearizeLimits::MaxStates) was exhausted before the
+  /// search concluded; Found=false then means "unknown", not "no witness".
+  bool Aborted = false;
+};
+
+/// Resource bounds for the linearization search, so machine-generated
+/// scenario sweeps (src/check/) cannot wedge on a pathological history.
+struct LinearizeLimits {
+  /// Maximum DFS states to explore; 0 = unlimited.
+  uint64_t MaxStates = 0;
 };
 
 /// Searches for a linearization of object \p ObjId's committed events.
 /// Supports histories of up to 64 events (model-checked workloads are far
 /// smaller).
 LinearizationResult findLinearization(const graph::EventGraph &G,
-                                      unsigned ObjId, SeqSpec Spec);
+                                      unsigned ObjId, SeqSpec Spec,
+                                      LinearizeLimits Limits = {});
 
 } // namespace compass::spec
 

@@ -1,0 +1,438 @@
+//===-- tests/ConformanceTest.cpp - Conformance harness end-to-end --------===//
+//
+// The Lincheck-style harness's own test suite (DESIGN.md §7):
+//  * generator determinism and scenario well-formedness;
+//  * corpus-entry serialization round-trips;
+//  * a pristine sweep across every library finds no violations;
+//  * every seeded mutant is killed, each through the intended oracle stage
+//    (race detector, consistency axioms, INJ prescan, observed results);
+//  * the shrinker strictly reduces and its output still fails on replay;
+//  * diagnoseTrace canonicalizes traces into divergence-free replays.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Conformance.h"
+#include "rmc/Machine.h"
+#include "sim/Explorer.h"
+#include "spec/Linearization.h"
+#include "spec/SpecMonitor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace compass;
+using namespace compass::check;
+
+namespace {
+
+/// Small-but-real hunt budget: every mutant dies within a few scenarios.
+MutationOptions quickHunt() {
+  MutationOptions O;
+  O.MaxScenarios = 60;
+  O.MaxExecutionsPerScenario = 150000;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scenario generation and serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ScenarioGen, DeterministicForFixedSeed) {
+  for (unsigned L = 0; L != NumLibs; ++L) {
+    Lib Li = allLibs()[L];
+    Scenario A = generateScenario(Li, scenarioSeed(7, Li, 3));
+    Scenario B = generateScenario(Li, scenarioSeed(7, Li, 3));
+    EXPECT_EQ(A.str(), B.str()) << libName(Li);
+    Scenario C = generateScenario(Li, scenarioSeed(7, Li, 4));
+    // Different index gives an independent stream (usually a new shape).
+    EXPECT_EQ(C.L, Li);
+  }
+}
+
+TEST(ScenarioGen, ScenariosAreWellFormed) {
+  for (unsigned L = 0; L != NumLibs; ++L) {
+    Lib Li = allLibs()[L];
+    for (unsigned I = 0; I != 50; ++I) {
+      Scenario S = generateScenario(Li, scenarioSeed(11, Li, I));
+      ASSERT_GE(S.Threads.size(), 1u) << S.str();
+      ASSERT_GE(S.numOps(), 1u) << S.str();
+      ASSERT_GE(S.PreemptionBound, 1u);
+      unsigned Producers = 0;
+      for (const auto &T : S.Threads)
+        for (const Op &O : T) {
+          if (O.Code == OpCode::Enq || O.Code == OpCode::Push ||
+              O.Code == OpCode::Exchange) {
+            EXPECT_NE(O.Arg, 0u) << S.str();
+            ++Producers;
+          }
+          switch (Li) {
+          case Lib::MsQueue:
+          case Lib::HwQueue:
+            EXPECT_TRUE(O.Code == OpCode::Enq || O.Code == OpCode::Deq);
+            break;
+          case Lib::TreiberStack:
+          case Lib::ElimStack:
+            EXPECT_TRUE(O.Code == OpCode::Push || O.Code == OpCode::Pop);
+            break;
+          case Lib::Exchanger:
+            EXPECT_EQ(O.Code, OpCode::Exchange);
+            break;
+          case Lib::SpscRing:
+            EXPECT_TRUE(O.Code == OpCode::Enq || O.Code == OpCode::Deq);
+            break;
+          case Lib::WsDeque:
+            EXPECT_TRUE(O.Code == OpCode::Push || O.Code == OpCode::Take ||
+                        O.Code == OpCode::Steal);
+            break;
+          }
+        }
+      if (Li != Lib::Exchanger) {
+        EXPECT_GE(Producers, 1u) << S.str();
+      }
+      if (Li == Lib::SpscRing) {
+        ASSERT_EQ(S.Threads.size(), 2u);
+        ASSERT_GE(S.Capacity, 1u);
+        for (const Op &O : S.Threads[0])
+          EXPECT_EQ(O.Code, OpCode::Enq);
+        for (const Op &O : S.Threads[1])
+          EXPECT_EQ(O.Code, OpCode::Deq);
+      }
+      if (Li == Lib::WsDeque) {
+        unsigned Pushes = 0;
+        for (const Op &O : S.Threads[0]) {
+          EXPECT_NE(O.Code, OpCode::Steal) << "owner thread steals";
+          Pushes += O.Code == OpCode::Push;
+        }
+        EXPECT_GE(S.Capacity, Pushes) << S.str();
+        for (size_t T = 1; T != S.Threads.size(); ++T)
+          for (const Op &O : S.Threads[T])
+            EXPECT_EQ(O.Code, OpCode::Steal) << "thief does owner ops";
+      }
+    }
+  }
+}
+
+TEST(ScenarioGen, ProducerValuesAreDistinct) {
+  Scenario S = generateScenario(Lib::MsQueue, scenarioSeed(3, Lib::MsQueue, 0),
+                                GenOptions::hunting());
+  std::set<rmc::Value> Seen;
+  for (const auto &T : S.Threads)
+    for (const Op &O : T)
+      if (O.Code == OpCode::Enq) {
+        EXPECT_TRUE(Seen.insert(O.Arg).second) << "duplicate " << O.Arg;
+      }
+}
+
+TEST(ScenarioText, NamesRoundTrip) {
+  for (unsigned I = 0; I != NumLibs; ++I) {
+    Lib L = allLibs()[I], Out;
+    ASSERT_TRUE(parseLib(libName(L), Out));
+    EXPECT_EQ(Out, L);
+  }
+  for (unsigned I = 0; I != NumMutations; ++I) {
+    Mutation M = static_cast<Mutation>(I), Out;
+    ASSERT_TRUE(parseMutation(mutationName(M), Out));
+    EXPECT_EQ(Out, M);
+  }
+  Lib L;
+  EXPECT_FALSE(parseLib("no_such_lib", L));
+}
+
+TEST(ScenarioText, CorpusEntryRoundTrips) {
+  CorpusEntry E;
+  E.S = generateScenario(Lib::TreiberStack,
+                         scenarioSeed(5, Lib::TreiberStack, 2));
+  E.Mut = Mutation::TreiberPopBelowTop;
+  E.Decisions = {0, 1, 0, 2, 3};
+  E.Note = "round-trip test";
+  std::string Text = formatCorpusEntry(E);
+  CorpusEntry Back;
+  std::string Err;
+  ASSERT_TRUE(parseCorpusEntry(Text, Back, Err)) << Err;
+  EXPECT_EQ(Back.S.str(), E.S.str());
+  EXPECT_EQ(Back.S.Seed, E.S.Seed);
+  EXPECT_EQ(Back.Mut, E.Mut);
+  EXPECT_EQ(Back.Decisions, E.Decisions);
+
+  CorpusEntry Bad;
+  EXPECT_FALSE(parseCorpusEntry("lib=ms_queue\nbogus=1\n", Bad, Err));
+  EXPECT_NE(Err.find("bogus"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Pristine sweep
+//===----------------------------------------------------------------------===//
+
+TEST(ConformanceSweep, AllLibrariesClean) {
+  SweepOptions O;
+  O.ScenariosPerLib = 4;
+  O.MaxExecutionsPerScenario = 40000;
+  SweepReport Rep = runSweep(O);
+  EXPECT_TRUE(Rep.clean()) << Rep.str();
+  ASSERT_EQ(Rep.PerLib.size(), NumLibs);
+  for (const LibSweepStats &St : Rep.PerLib) {
+    EXPECT_EQ(St.Violations, 0u) << libName(St.L) << ": " << St.FirstBad;
+    EXPECT_EQ(St.Races, 0u) << libName(St.L);
+    EXPECT_EQ(St.Deadlocks, 0u) << libName(St.L);
+    EXPECT_GT(St.Executions, 0u) << libName(St.L);
+  }
+  // Report renderers.
+  EXPECT_NE(Rep.str().find("fingerprint"), std::string::npos);
+  std::string J = Rep.json();
+  EXPECT_EQ(J.front(), '{');
+  EXPECT_EQ(J.back(), '}');
+  EXPECT_NE(J.find("\"fingerprint\":"), std::string::npos);
+}
+
+TEST(ConformanceSweep, FingerprintIsSeedSensitive) {
+  SweepOptions O;
+  O.ScenariosPerLib = 2;
+  O.MaxExecutionsPerScenario = 20000;
+  O.Libs = {Lib::MsQueue, Lib::SpscRing};
+  SweepReport A = runSweep(O);
+  O.Seed = 2;
+  SweepReport B = runSweep(O);
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  O.Seed = 1;
+  SweepReport C = runSweep(O);
+  EXPECT_EQ(A.fingerprint(), C.fingerprint());
+}
+
+//===----------------------------------------------------------------------===//
+// Spec strengths: the paper's §3.2 separation, live
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+sim::Task<void> runOps(ContainerAdapter &A, std::vector<Op> Ops, sim::Env &E) {
+  for (Op O : Ops) {
+    auto T = A.apply(E, O);
+    co_await T;
+  }
+}
+
+/// The cross-thread-enqueue scenario that first exhibited the separation
+/// live (seed 1, scenario #5 of the 500-scenarios-per-library sweep):
+/// `hw_queue pb=2 cap=10 T0[enq:1,enq:2,deq] T1[enq:3,deq,deq]
+/// T2[enq:4,enq:5,enq:6]`.
+Scenario hwSeparationScenario() {
+  Scenario S;
+  S.L = Lib::HwQueue;
+  S.PreemptionBound = 2;
+  S.Capacity = 10;
+  S.Threads = {{{OpCode::Enq, 1}, {OpCode::Enq, 2}, {OpCode::Deq, 0}},
+               {{OpCode::Enq, 3}, {OpCode::Deq, 0}, {OpCode::Deq, 0}},
+               {{OpCode::Enq, 4}, {OpCode::Enq, 5}, {OpCode::Enq, 6}}};
+  return S;
+}
+
+} // namespace
+
+TEST(SpecStrength, PerLibraryMapping) {
+  // Only the relaxed Herlihy-Wing queue is LAT_hb-only (paper §3.2 /
+  // EXPERIMENTS.md E2); everything else must produce a witness.
+  EXPECT_EQ(libStrength(Lib::HwQueue), SpecStrength::HbOnly);
+  for (unsigned I = 0; I != NumLibs; ++I)
+    if (allLibs()[I] != Lib::HwQueue) {
+      EXPECT_EQ(libStrength(allLibs()[I]), SpecStrength::Linearizable)
+          << libName(allLibs()[I]);
+    }
+}
+
+TEST(SpecStrength, HwQueueSeparationIsLive) {
+  // Both halves of the separation on the same scenario. (a) At its
+  // *specified* strength — the LAT_hb graph axioms plus observed results —
+  // the pristine HW queue is clean:
+  Scenario S = hwSeparationScenario();
+  std::vector<unsigned> Trace;
+  EXPECT_FALSE(scenarioFails(S, Mutation::None, 20000, Trace))
+      << "hw_queue violates its own LAT_hb spec";
+
+  // (b) ...but some execution of the very same tree has *no*
+  // linearizable-history witness, so checking hw_queue at LAT_hist_hb
+  // strength would flag the paper's own expected behaviour as a bug
+  // (which is what the HbOnly strength in libStrength exists to prevent).
+  bool FoundWitnessless = false;
+  sim::Explorer Ex{scenarioOptions(S, 20000, 1)};
+  while (!FoundWitnessless && Ex.beginExecution()) {
+    rmc::Machine M(Ex);
+    sim::Scheduler Sch(M, Ex);
+    Sch.setPreemptionBound(Ex.options().PreemptionBound);
+    spec::SpecMonitor Mon;
+    ContainerAdapter A(S, Mutation::None, M, Mon);
+    for (const auto &T : S.Threads) {
+      sim::Env &E = Sch.newThread();
+      Sch.start(E, runOps(A, T, E));
+    }
+    auto R = Sch.run(Ex.options().MaxStepsPerExec);
+    if (R == sim::Scheduler::RunResult::Done) {
+      spec::LinearizationResult LR = spec::findLinearization(
+          Mon.graph(), A.objId(), spec::SeqSpec::Queue,
+          spec::LinearizeLimits{200000});
+      if (!LR.Found && !LR.Aborted)
+        FoundWitnessless = true;
+    }
+    Ex.endExecution(R);
+  }
+  EXPECT_TRUE(FoundWitnessless)
+      << "no witness-less hw_queue execution found; if the implementation "
+         "got stronger, HbOnly in libStrength may no longer be needed";
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation testing: every mutant must die, via the intended oracle stage
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hunts \p Mut and asserts it was killed; returns the report.
+MutantReport expectKilled(Mutation Mut) {
+  MutantReport R = huntMutant(Mut, quickHunt());
+  EXPECT_TRUE(R.Killed) << mutationName(Mut) << " survived "
+                        << R.ScenariosTried << " scenarios ("
+                        << mutationDescription(Mut) << ")";
+  if (R.Killed) {
+    // The shrunk counterexample must still fail on replay.
+    EXPECT_FALSE(R.Shrunk.V.Ok)
+        << mutationName(Mut) << ": shrunk trace no longer fails";
+    EXPECT_GE(R.Shrunk.OpsAfter, 1u);
+    EXPECT_LE(R.Shrunk.OpsAfter, R.Shrunk.OpsBefore);
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(MutationKill, MsQueueRelaxedPublish) {
+  MutantReport R = expectKilled(Mutation::MsQueueRelaxedPublish);
+  // A relaxed linking CAS loses the element handoff: the race detector
+  // fires on the node's nonatomic fields.
+  EXPECT_EQ(R.Rule, "RACE") << R.str();
+}
+
+TEST(MutationKill, MsQueueSkipDeq) {
+  MutantReport R = expectKilled(Mutation::MsQueueSkipDeq);
+  // Skipping the head's successor breaks FIFO order / loses elements:
+  // caught by the queue axioms or the witness search.
+  EXPECT_TRUE(R.Rule == "CONSISTENCY" || R.Rule == "WITNESS") << R.str();
+}
+
+TEST(MutationKill, TreiberRelaxedPopHead) {
+  MutantReport R = expectKilled(Mutation::TreiberRelaxedPopHead);
+  EXPECT_EQ(R.Rule, "RACE") << R.str();
+}
+
+TEST(MutationKill, TreiberPopBelowTop) {
+  MutantReport R = expectKilled(Mutation::TreiberPopBelowTop);
+  // Popping below the top is a pure LIFO violation (the acquire CAS still
+  // synchronizes, so there is no race to hide behind).
+  EXPECT_TRUE(R.Rule == "CONSISTENCY" || R.Rule == "WITNESS") << R.str();
+}
+
+TEST(MutationKill, ExchangerEchoValue) {
+  MutantReport R = expectKilled(Mutation::ExchangerEchoValue);
+  // The graph records the true crossing; only the observed-result check
+  // can see the lie.
+  EXPECT_EQ(R.Rule, "OBS") << R.str();
+}
+
+TEST(MutationKill, SpscRelaxedTailPublish) {
+  MutantReport R = expectKilled(Mutation::SpscRelaxedTailPublish);
+  EXPECT_EQ(R.Rule, "RACE") << R.str();
+}
+
+TEST(MutationKill, WsDequeTakeNoFence) {
+  MutantReport R = expectKilled(Mutation::WsDequeTakeNoFence);
+  // Without the SC fence the owner's take re-takes a stolen element: the
+  // same push is consumed twice, caught by the injectivity prescan.
+  EXPECT_TRUE(R.Rule == "INJ" || R.Rule == "CONSISTENCY") << R.str();
+}
+
+TEST(MutationKill, RunMutationTestsCoversAllMutants) {
+  MutationOptions O = quickHunt();
+  O.Shrink = false; // Keep this aggregate run fast; kills only.
+  std::vector<MutantReport> Reps = runMutationTests(O);
+  ASSERT_EQ(Reps.size(), NumMutations - 1);
+  for (const MutantReport &R : Reps)
+    EXPECT_TRUE(R.Killed) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Shrinker
+//===----------------------------------------------------------------------===//
+
+TEST(Shrinker, StrictlyReducesAndStillFails) {
+  // The MS-queue publish mutant dies in a busy generated scenario; the
+  // shrinker must cut it down to the 2-op essence and the result must
+  // still fail when replayed from scratch.
+  MutantReport R = huntMutant(Mutation::MsQueueRelaxedPublish, quickHunt());
+  ASSERT_TRUE(R.Killed);
+  const ShrinkResult &S = R.Shrunk;
+  EXPECT_TRUE(S.reducedOps()) << S.str();
+  EXPECT_TRUE(S.reducedDecisions()) << S.str();
+  EXPECT_LE(S.OpsAfter, 3u) << S.Min.str();
+  EXPECT_GT(S.CandidatesTried, 0u);
+
+  // Independent re-validation: explore the minimized scenario afresh.
+  std::vector<unsigned> Trace;
+  EXPECT_TRUE(scenarioFails(S.Min, Mutation::MsQueueRelaxedPublish, 100000,
+                            Trace))
+      << "shrunk scenario no longer fails: " << S.Min.str();
+
+  // And the pristine library passes the minimized scenario.
+  std::vector<unsigned> Unused;
+  EXPECT_FALSE(scenarioFails(S.Min, Mutation::None, 100000, Unused))
+      << "pristine library fails the shrunk scenario";
+}
+
+TEST(Shrinker, MinimizedTraceReplaysDivergenceFree) {
+  MutantReport R = huntMutant(Mutation::ExchangerEchoValue, quickHunt());
+  ASSERT_TRUE(R.Killed);
+  TraceDiagnosis D =
+      diagnoseTrace(R.Shrunk.Min, Mutation::ExchangerEchoValue,
+                    scenarioOptions(R.Shrunk.Min, 1, 1), R.Shrunk.Decisions);
+  EXPECT_TRUE(D.failing());
+  EXPECT_FALSE(D.V.Ok);
+  // Replaying the canonical executed trace reproduces without divergence.
+  TraceDiagnosis D2 =
+      diagnoseTrace(R.Shrunk.Min, Mutation::ExchangerEchoValue,
+                    scenarioOptions(R.Shrunk.Min, 1, 1), D.Executed);
+  EXPECT_TRUE(D2.failing());
+  EXPECT_FALSE(D2.RR.Diverged);
+  EXPECT_EQ(D2.Executed, D.Executed);
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(VerdictTest, StrAndFail) {
+  Verdict V;
+  EXPECT_TRUE(V.Ok);
+  EXPECT_EQ(V.str(), "ok");
+  Verdict F = Verdict::fail("OBS", "thread 0 lied");
+  EXPECT_FALSE(F.Ok);
+  EXPECT_EQ(F.str(), "OBS: thread 0 lied");
+}
+
+TEST(VerdictTest, DiagnoseReportsStructuredRule) {
+  // Hand-built scenario: the Treiber below-top mutant with a pop racing
+  // two pushes violates LIFO deterministically somewhere in the tree.
+  Scenario S;
+  S.L = Lib::TreiberStack;
+  S.PreemptionBound = 2;
+  S.Threads = {{{OpCode::Pop, 0}},
+               {{OpCode::Push, 1}, {OpCode::Push, 2}}};
+  std::vector<unsigned> Trace;
+  ASSERT_TRUE(
+      scenarioFails(S, Mutation::TreiberPopBelowTop, 200000, Trace));
+  TraceDiagnosis D = diagnoseTrace(S, Mutation::TreiberPopBelowTop,
+                                   scenarioOptions(S, 1, 1), Trace);
+  ASSERT_TRUE(D.failing());
+  EXPECT_FALSE(D.V.Rule.empty());
+  EXPECT_FALSE(D.V.Detail.empty());
+  EXPECT_NE(D.V.str(), "ok");
+}

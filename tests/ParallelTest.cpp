@@ -5,12 +5,14 @@
 // the Summary's deterministic core — executions, completed, races,
 // violations, Exhausted, MaxDepth, per-tag choice statistics, and the first
 // violating trace — must be bit-identical across 1, 2, and 4 workers. Also
-// covers counterexample surfacing + replay() reproduction and the Workload
-// replay entry point.
+// covers counterexample surfacing + replay() reproduction, the Workload
+// replay entry point, and the conformance harness (generated scenario
+// workloads and the sweep fingerprint, DESIGN.md §7) across worker counts.
 //
 //===----------------------------------------------------------------------===//
 
 #include "SimTestUtil.h"
+#include "check/Conformance.h"
 #include "lib/MsQueue.h"
 #include "sim/ParallelExplorer.h"
 #include "sim/Workload.h"
@@ -228,6 +230,78 @@ TEST(ParallelDeterminism, CoRRLitmus) {
 TEST(ParallelDeterminism, MsQueueE2Workload) {
   expectDeterministic(+[](unsigned W) { return msQueueWorkload(W); },
                       "MS queue E2");
+}
+
+//===----------------------------------------------------------------------===//
+// Conformance-harness determinism (DESIGN.md §7)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A generated conformance workload over the pristine (or mutated) library;
+/// the Summary core must be worker-count independent like any other
+/// workload. Hunting-sized scenarios keep the decision tree comfortably
+/// inside the execution budget — a *truncated* tree's explored subset (and
+/// hence MaxDepth) is worker-count dependent by design, which is also why
+/// SweepReport's fingerprint only folds exhausted scenarios.
+Workload conformanceWorkload(check::Lib L, check::Mutation Mut, uint64_t Seed,
+                             unsigned Workers) {
+  check::GenOptions G;
+  G.MaxThreads = 2;
+  G.MaxOpsPerThread = 2;
+  G.MinPreemptions = G.MaxPreemptions = 1;
+  check::Scenario S =
+      check::generateScenario(L, check::scenarioSeed(Seed, L, 0), G);
+  return check::makeWorkload(S, Mut,
+                             check::scenarioOptions(S, 200000, Workers));
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, ConformancePristineMsQueueScenario) {
+  expectDeterministic(
+      +[](unsigned W) {
+        return conformanceWorkload(check::Lib::MsQueue,
+                                   check::Mutation::None, 11, W);
+      },
+      "conformance ms_queue pristine");
+}
+
+TEST(ParallelDeterminism, ConformanceMutatedTreiberScenario) {
+  // With StopOnViolation off (scenarioOptions' default), even a
+  // violation-dense mutated tree has a worker-count independent core —
+  // including the *first* violating trace in DFS order.
+  auto Make = +[](unsigned W) {
+    return conformanceWorkload(check::Lib::TreiberStack,
+                               check::Mutation::TreiberRelaxedPopHead, 13, W);
+  };
+  ASSERT_GT(explore(Make(1)).Violations, 0u)
+      << "scenario no longer exercises the mutant; pick a new seed";
+  expectDeterministic(Make, "conformance treiber mutant");
+}
+
+TEST(ParallelDeterminism, SweepFingerprintAcrossWorkers) {
+  // The sweep report's fingerprint folds per-scenario Summary cores (for
+  // exhausted trees), so it inherits the engine's determinism: identical
+  // across 1/2/4 workers for a fixed seed.
+  auto Run = [](unsigned Workers) {
+    check::SweepOptions O;
+    O.Seed = 5;
+    O.ScenariosPerLib = 2;
+    O.Workers = Workers;
+    O.MaxExecutionsPerScenario = 60000;
+    O.Libs = {check::Lib::MsQueue, check::Lib::TreiberStack,
+              check::Lib::Exchanger, check::Lib::SpscRing};
+    return check::runSweep(O);
+  };
+  check::SweepReport R1 = Run(1), R2 = Run(2), R4 = Run(4);
+  EXPECT_TRUE(R1.clean()) << R1.str();
+  EXPECT_EQ(R1.fingerprint(), R2.fingerprint())
+      << "serial:\n" << R1.str() << "2 workers:\n" << R2.str();
+  EXPECT_EQ(R1.fingerprint(), R4.fingerprint())
+      << "serial:\n" << R1.str() << "4 workers:\n" << R4.str();
+  EXPECT_EQ(R1.totalExecutions(), R4.totalExecutions());
+  EXPECT_EQ(R1.totalViolations(), R4.totalViolations());
 }
 
 //===----------------------------------------------------------------------===//

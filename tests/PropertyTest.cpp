@@ -2,20 +2,28 @@
 //
 // Randomized property tests (parameterized over seeds) for the framework's
 // algebraic cores: the view lattice, logical-view sets, machine invariants
-// under random operation soup, and the linearization search on generated
-// histories with known answers.
+// under random operation soup, the linearization search on generated
+// histories with known answers, and event-graph invariants (logical-view
+// monotonicity along so edges, commit-index totality) over exhaustively
+// explored generated scenarios.
 //
 //===----------------------------------------------------------------------===//
 
+#include "check/Harness.h"
+#include "check/ScenarioGen.h"
 #include "graph/EventGraph.h"
 #include "rmc/Machine.h"
+#include "sim/Explorer.h"
 #include "spec/Consistency.h"
 #include "spec/Linearization.h"
+#include "spec/SpecMonitor.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
+#include <set>
 
 using namespace compass;
 using namespace compass::rmc;
@@ -263,6 +271,128 @@ TEST_P(SeededProperty, GeneratedDequeHistoriesLinearizable) {
   EXPECT_TRUE(Res.Found);
   auto Abs = spec::checkWsDequeAbsState(G, 0);
   EXPECT_TRUE(Abs.ok()) << Abs.str();
+}
+
+namespace {
+
+/// Applies each op of one scenario thread (results discarded — these
+/// sweeps only care about the committed event graph).
+sim::Task<void> applyOps(check::ContainerAdapter &A,
+                         std::vector<check::Op> Ops, sim::Env &E) {
+  for (check::Op O : Ops) {
+    auto T = A.apply(E, O);
+    co_await T;
+  }
+}
+
+} // namespace
+
+TEST_P(SeededProperty, ExploredEventGraphInvariants) {
+  // Exhaustively explore small generated scenarios (check/ScenarioGen.h)
+  // over the pristine libraries and assert, on every completed execution's
+  // event graph:
+  //
+  //  * structural well-formedness (EventGraph::checkWellFormed);
+  //  * logical-view monotonicity along so edges — a synchronized-with
+  //    edge e -so-> d transfers the producer's knowledge, so d's logical
+  //    view must contain e and include e's entire view (Section 4.2's
+  //    view transfer);
+  //  * commit-index totality — committed events carry unique commit
+  //    indices forming a gapless range (a *total* commit order `<`), and
+  //    committedEvents() yields them strictly ascending;
+  //  * logical views only reach *earlier-committed* events (CommitIdx
+  //    monotone along lhb).
+  using namespace compass::check;
+  GenOptions Gen;
+  Gen.MaxThreads = 2;
+  Gen.MaxOpsPerThread = 2;
+  Gen.MinPreemptions = Gen.MaxPreemptions = 1;
+  uint64_t Checked = 0;
+  for (Lib L : {Lib::MsQueue, Lib::TreiberStack, Lib::Exchanger,
+                Lib::WsDeque}) {
+    Scenario S = generateScenario(L, scenarioSeed(GetParam(), L, 0), Gen);
+    SCOPED_TRACE(S.str());
+    sim::Explorer Ex{scenarioOptions(S, 3000, 1)};
+    while (Ex.beginExecution()) {
+      Machine M(Ex);
+      sim::Scheduler Sch(M, Ex);
+      Sch.setPreemptionBound(Ex.options().PreemptionBound);
+      spec::SpecMonitor Mon;
+      ContainerAdapter A(S, Mutation::None, M, Mon);
+      for (const auto &T : S.Threads) {
+        sim::Env &E = Sch.newThread();
+        Sch.start(E, applyOps(A, T, E));
+      }
+      auto R = Sch.run(Ex.options().MaxStepsPerExec);
+      if (R == sim::Scheduler::RunResult::Done) {
+        const graph::EventGraph &G = Mon.graph();
+        std::string Err = G.checkWellFormed();
+        ASSERT_TRUE(Err.empty()) << Err << "\n" << G.str();
+
+        for (const graph::SoEdge &Ed : G.so()) {
+          ASSERT_TRUE(G.isCommitted(Ed.From));
+          ASSERT_TRUE(G.isCommitted(Ed.To));
+          const graph::Event &From = G.event(Ed.From);
+          const graph::Event &To = G.event(Ed.To);
+          if (From.CommitIdx < To.CommitIdx) {
+            // Commit-order-forward edge: the later event acquired the
+            // earlier one's knowledge at its commit point.
+            EXPECT_TRUE(To.LogView.contains(Ed.From))
+                << "so edge " << Ed.From << "->" << Ed.To
+                << " without knowledge transfer\n"
+                << G.str();
+            EXPECT_TRUE(From.LogView.subsetOf(To.LogView))
+                << "logical view not monotone along so edge " << Ed.From
+                << "->" << Ed.To << "\n"
+                << G.str();
+          } else {
+            // Back edges arise only from the exchanger's symmetric
+            // pairing (so-pairs in both directions, Section 4.2); the
+            // commit-order-forward dual must exist and carries the view
+            // transfer checked above.
+            EXPECT_EQ(From.Kind, graph::OpKind::Exchange) << G.str();
+            bool HasDual = false;
+            for (graph::EventId Succ : G.soSuccessors(Ed.To))
+              HasDual |= Succ == Ed.From;
+            EXPECT_TRUE(HasDual)
+                << "back so edge " << Ed.From << "->" << Ed.To
+                << " without forward dual\n"
+                << G.str();
+          }
+        }
+
+        std::vector<graph::EventId> Ids = G.committedEvents();
+        uint32_t MinIdx = ~0u, MaxIdx = 0;
+        std::set<uint32_t> SeenIdx;
+        uint32_t PrevIdx = 0;
+        for (size_t I = 0; I != Ids.size(); ++I) {
+          const graph::Event &Ev = G.event(Ids[I]);
+          EXPECT_TRUE(SeenIdx.insert(Ev.CommitIdx).second)
+              << "duplicate commit index " << Ev.CommitIdx;
+          if (I > 0) {
+            EXPECT_GT(Ev.CommitIdx, PrevIdx)
+                << "committedEvents() not in commit order";
+          }
+          PrevIdx = Ev.CommitIdx;
+          MinIdx = std::min(MinIdx, Ev.CommitIdx);
+          MaxIdx = std::max(MaxIdx, Ev.CommitIdx);
+          Ev.LogView.forEach([&](uint32_t Other) {
+            ASSERT_TRUE(G.isCommitted(Other));
+            EXPECT_LE(G.event(Other).CommitIdx, Ev.CommitIdx)
+                << "logical view of " << Ids[I]
+                << " reaches a later-committed event " << Other;
+          });
+        }
+        if (!Ids.empty()) {
+          EXPECT_EQ(static_cast<size_t>(MaxIdx - MinIdx) + 1, Ids.size())
+              << "commit indices are not a gapless total order";
+        }
+        ++Checked;
+      }
+      Ex.endExecution(R);
+    }
+  }
+  EXPECT_GT(Checked, 0u) << "sweep was vacuous";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

@@ -16,17 +16,27 @@ namespace compass::test {
 
 /// Explores \p W (serial or parallel per its options) and fails the current
 /// test if any execution violates the workload's check. On failure the
-/// first counterexample's decision trace is pretty-printed (tag + arity per
-/// decision) and replayed to confirm it reproduces the failing check.
+/// report carries everything needed to reproduce without re-exploring:
+///  * the exploration seed and worker count (exact configuration),
+///  * the first counterexample's decision trace, pretty-printed (tag +
+///    arity per decision),
+///  * a copy-pasteable `sim::replay(W, {...});` call for that trace, which
+///    is also replayed on the spot to confirm it reproduces the failure.
 inline sim::Explorer::Summary
-exploreExpectNoViolations(const sim::Workload &W) {
+exploreExpectNoViolations(const sim::Workload &W,
+                          const char *WorkloadName = "W") {
   sim::Explorer::Summary Sum = sim::explore(W);
   if (Sum.Violations != 0) {
     sim::ReplayResult RR = sim::replay(W, Sum.firstViolationDecisions());
     ADD_FAILURE() << Sum.Violations
-                  << " violating execution(s); first counterexample:\n"
+                  << " violating execution(s) [seed=" << W.options().Seed
+                  << " workers=" << W.options().Workers
+                  << "]; first counterexample:\n"
                   << sim::Explorer::formatTrace(Sum.FirstViolation)
-                  << "replay reproduces the failing check: "
+                  << "reproduce with:\n  "
+                  << sim::formatReplayCall(Sum.firstViolationDecisions(),
+                                           WorkloadName)
+                  << "\nreplay reproduces the failing check: "
                   << (RR.CheckOk ? "NO (check passed on replay!)" : "yes");
   }
   return Sum;
