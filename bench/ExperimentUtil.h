@@ -25,11 +25,53 @@
 #include "spec/SpecMonitor.h"
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace compass::bench {
+
+//===----------------------------------------------------------------------===//
+// Bench output hygiene
+//===----------------------------------------------------------------------===//
+
+/// Parses and removes a `--bench-out <dir>` flag from argv (so later flag
+/// parsers, e.g. benchmark::Initialize, never see it), defaulting to the
+/// current working directory. Prints the resolved absolute output
+/// directory, and — when the binary was built with assertions enabled
+/// (no NDEBUG) — emits a loud warning so Debug numbers never silently land
+/// in the committed perf trajectory.
+inline std::string benchOutDir(int &Argc, char **Argv) {
+  std::string Dir = ".";
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--bench-out")) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--bench-out needs a directory\n");
+        std::exit(2);
+      }
+      Dir = Argv[I + 1];
+      for (int J = I; J + 2 <= Argc; ++J)
+        Argv[J] = Argv[J + 2];
+      Argc -= 2;
+      break;
+    }
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "*** WARNING ***********************************************\n"
+               "* This benchmark binary was built WITHOUT NDEBUG:         *\n"
+               "* assertions are live and numbers are NOT representative. *\n"
+               "* Do not commit this run's BENCH_*.json. Use the          *\n"
+               "* bench-lto CMake preset for recorded figures.            *\n"
+               "***********************************************************\n");
+#endif
+  std::error_code Ec;
+  std::filesystem::path Abs = std::filesystem::absolute(Dir, Ec);
+  std::string Out = Ec ? Dir : Abs.lexically_normal().string();
+  std::printf("bench output directory: %s\n", Out.c_str());
+  return Out;
+}
 
 //===----------------------------------------------------------------------===//
 // Table printing

@@ -172,11 +172,13 @@ Workload mpWorkload(unsigned Workers) {
 /// The E2 MS-queue configuration (enq{1,2} + 2 dequeuers, preemption
 /// bound 2), checked against QueueConsistent every execution. The body
 /// factory gives each worker private monitor/queue state.
-Workload msQueueWorkload(unsigned Workers, uint64_t MaxExecutions) {
+Workload msQueueWorkload(unsigned Workers, uint64_t MaxExecutions,
+                         ReductionMode Red = ReductionMode::None) {
   Explorer::Options Opts;
   Opts.Workers = Workers;
   Opts.PreemptionBound = 2;
   Opts.MaxExecutions = MaxExecutions;
+  Opts.Reduction = Red;
   return Workload(Opts, []() -> Workload::Body {
     struct State {
       std::unique_ptr<spec::SpecMonitor> Mon;
@@ -199,6 +201,46 @@ Workload msQueueWorkload(unsigned Workers, uint64_t MaxExecutions) {
             [St](Machine &, Scheduler &, Scheduler::RunResult R) {
               if (R != Scheduler::RunResult::Done)
                 return true; // deadlocks/limits are counted, not violations
+              return spec::checkQueueConsistent(St->Mon->graph(),
+                                                St->Q->objId())
+                  .ok();
+            }};
+  });
+}
+
+/// The locked-queue verification workload (E7's slowest row): coarse
+/// lock acquire/release around every operation makes spinning readers on
+/// the lock cell the dominant interleaving source — exactly the
+/// commuting-reads pattern the sleep-set reduction collapses.
+Workload lockedQueueWorkload(unsigned Workers, ReductionMode Red,
+                             uint64_t MaxExecutions) {
+  Explorer::Options Opts;
+  Opts.Workers = Workers;
+  Opts.PreemptionBound = 2;
+  Opts.MaxExecutions = MaxExecutions;
+  Opts.Reduction = Red;
+  return Workload(Opts, []() -> Workload::Body {
+    struct State {
+      std::unique_ptr<spec::SpecMonitor> Mon;
+      std::unique_ptr<lib::LockedQueue> Q;
+      std::vector<Value> Got0, Got1;
+    };
+    auto St = std::make_shared<State>();
+    return {[St](Machine &M, Scheduler &S) {
+              St->Mon = std::make_unique<spec::SpecMonitor>();
+              St->Q = std::make_unique<lib::LockedQueue>(M, *St->Mon, "q", 16);
+              St->Got0.clear();
+              St->Got1.clear();
+              Env &E0 = S.newThread();
+              S.start(E0, bench::enqueuer(E0, *St->Q, {1, 2}));
+              Env &E1 = S.newThread();
+              S.start(E1, bench::dequeuer(E1, *St->Q, 1, &St->Got0));
+              Env &E2 = S.newThread();
+              S.start(E2, bench::dequeuer(E2, *St->Q, 1, &St->Got1));
+            },
+            [St](Machine &, Scheduler &, Scheduler::RunResult R) {
+              if (R != Scheduler::RunResult::Done)
+                return true;
               return spec::checkQueueConsistent(St->Mon->graph(),
                                                 St->Q->objId())
                   .ok();
@@ -248,7 +290,65 @@ void printScalingTable(const std::vector<ScaleRow> &Rows) {
   T.print();
 }
 
-void writeJson(const std::vector<ScaleRow> &Rows) {
+//===----------------------------------------------------------------------===//
+// Sleep-set reduction before/after (E10)
+//===----------------------------------------------------------------------===//
+
+struct RedRow {
+  std::string Name;
+  ReductionMode Red;
+  Explorer::Summary Sum;
+  double ExecRatio = 1.0; ///< Unreduced executions / this row's executions.
+  double WallRatio = 1.0; ///< Unreduced wall / this row's wall.
+};
+
+const char *redName(ReductionMode R) {
+  return R == ReductionMode::SleepSet ? "sleep-set" : "none";
+}
+
+void runReduction(std::vector<RedRow> &Rows, const std::string &Name,
+                  Workload (*Make)(unsigned, ReductionMode, uint64_t),
+                  uint64_t MaxExecutions) {
+  Explorer::Summary Base;
+  for (ReductionMode R : {ReductionMode::None, ReductionMode::SleepSet}) {
+    Explorer::Summary Sum = explore(Make(1, R, MaxExecutions));
+    RedRow Row{Name, R, Sum, 1.0, 1.0};
+    if (R == ReductionMode::None)
+      Base = Sum;
+    else {
+      Row.ExecRatio = Sum.Executions
+                          ? static_cast<double>(Base.Executions) /
+                                static_cast<double>(Sum.Executions)
+                          : 0.0;
+      Row.WallRatio = Sum.Perf.WallSeconds > 0
+                          ? Base.Perf.WallSeconds / Sum.Perf.WallSeconds
+                          : 0.0;
+    }
+    Rows.push_back(std::move(Row));
+  }
+}
+
+void printReductionTable(const std::vector<RedRow> &Rows) {
+  std::printf("\nE10: sleep-set partial-order reduction, before/after "
+              "(serial, pb=2)\n\n");
+  bench::Table T({"workload", "reduction", "executions", "sleep-pruned",
+                  "completed", "exhausted", "wall s", "execs/sec",
+                  "exec ratio"});
+  for (const RedRow &R : Rows)
+    T.addRow({R.Name, redName(R.Red), bench::fmtU64(R.Sum.Executions),
+              bench::fmtU64(R.Sum.SleepPruned),
+              bench::fmtU64(R.Sum.Completed),
+              R.Sum.Exhausted ? "yes" : "no",
+              fmtF(R.Sum.Perf.WallSeconds, "%.2f"),
+              fmtF(R.Sum.Perf.ExecsPerSec),
+              R.Red == ReductionMode::None ? "1.00x"
+                                           : fmtF(R.ExecRatio, "%.2fx")});
+  T.print();
+}
+
+void writeJson(const std::vector<ScaleRow> &Rows,
+               const std::vector<RedRow> &RedRows,
+               const std::string &OutDir) {
   JsonWriter J;
   J.beginObject();
   J.field("experiment", "P4b parallel exploration scaling");
@@ -272,10 +372,28 @@ void writeJson(const std::vector<ScaleRow> &Rows) {
     J.endObject();
   }
   J.endArray();
+  J.key("reduction_rows");
+  J.beginArray();
+  for (const RedRow &R : RedRows) {
+    J.beginObject();
+    J.field("workload", R.Name);
+    J.field("reduction", redName(R.Red));
+    J.field("executions", R.Sum.Executions);
+    J.field("sleep_pruned", R.Sum.SleepPruned);
+    J.field("completed", R.Sum.Completed);
+    J.field("exhausted", R.Sum.Exhausted);
+    J.field("wall_seconds", R.Sum.Perf.WallSeconds);
+    J.field("execs_per_sec", R.Sum.Perf.ExecsPerSec);
+    J.field("exec_ratio_vs_unreduced", R.ExecRatio);
+    J.field("wall_ratio_vs_unreduced", R.WallRatio);
+    J.endObject();
+  }
+  J.endArray();
   J.endObject();
-  std::ofstream Out("BENCH_simulator.json");
+  std::string Path = OutDir + "/BENCH_simulator.json";
+  std::ofstream Out(Path);
   Out << J.str() << "\n";
-  std::printf("\nwrote BENCH_simulator.json\n");
+  std::printf("\nwrote %s\n", Path.c_str());
 }
 
 } // namespace
@@ -285,6 +403,7 @@ BENCHMARK(bmMachineCas)->Iterations(200'000);
 BENCHMARK(bmExplorerExecution)->Iterations(3'000);
 
 int main(int argc, char **argv) {
+  std::string OutDir = bench::benchOutDir(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -295,6 +414,17 @@ int main(int argc, char **argv) {
     return msQueueWorkload(W, 500'000);
   });
   printScalingTable(Rows);
-  writeJson(Rows);
+
+  std::vector<RedRow> RedRows;
+  runReduction(RedRows, "locked queue (E7, pb=2)", lockedQueueWorkload,
+               4'000'000);
+  runReduction(RedRows, "MS queue (E2, pb=2)",
+               +[](unsigned W, ReductionMode R, uint64_t Max) {
+                 return msQueueWorkload(W, Max, R);
+               },
+               4'000'000);
+  printReductionTable(RedRows);
+
+  writeJson(Rows, RedRows, OutDir);
   return 0;
 }

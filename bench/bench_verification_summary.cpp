@@ -69,7 +69,7 @@ VerifyRow verify(std::string Library, std::string Spec, SetupT Setup,
 /// Dumps the per-row results (including the full exploration summaries with
 /// per-tag choice-point statistics) to BENCH_verification_summary.json so
 /// the verification-effort trajectory is tracked across PRs.
-void writeJson(const std::vector<VerifyRow> &Rows) {
+void writeJson(const std::vector<VerifyRow> &Rows, const std::string &OutDir) {
   JsonWriter J;
   J.beginObject();
   J.field("experiment", "E7 verification summary");
@@ -88,9 +88,10 @@ void writeJson(const std::vector<VerifyRow> &Rows) {
   }
   J.endArray();
   J.endObject();
-  std::ofstream Out("BENCH_verification_summary.json");
+  std::string Path = OutDir + "/BENCH_verification_summary.json";
+  std::ofstream Out(Path);
   Out << J.str() << "\n";
-  std::printf("\nwrote BENCH_verification_summary.json\n");
+  std::printf("\nwrote %s\n", Path.c_str());
 }
 
 uint64_t countLines(const std::filesystem::path &Dir) {
@@ -116,7 +117,8 @@ uint64_t countLines(const std::filesystem::path &Dir) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string OutDir = benchOutDir(Argc, Argv);
   std::printf("E7: verification summary (the paper's Section 1.2 report, "
               "reproduced as\nexhaustive model-checking results)\n\n");
 
@@ -288,7 +290,7 @@ int main() {
   L.print();
 #endif
 
-  writeJson(Rows);
+  writeJson(Rows, OutDir);
 
   std::printf("\n%s\n", AllOk ? "ALL VERIFICATIONS PASS."
                               : "DEVIATIONS FOUND!");

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_simulator.json against the committed baseline.
+
+Matches scaling rows on (workload, workers) and reduction rows on
+(workload, reduction), then compares throughput (execs_per_sec). By
+default the script only *reports*: regressions beyond the threshold are
+printed as GitHub Actions `::warning::` annotations and the exit code
+stays 0, so a noisy CI runner cannot block a merge. Pass --strict to turn
+regressions into a nonzero exit (for local perf work).
+
+Usage:
+  scripts/bench_compare.py NEW.json BASELINE.json [--threshold 0.20]
+                           [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def rows_by_key(report):
+    """Maps row-key -> row for both the scaling and reduction tables."""
+    out = {}
+    for row in report.get("rows", []):
+        out[("scaling", row["workload"], row["workers"])] = row
+    for row in report.get("reduction_rows", []):
+        out[("reduction", row["workload"], row["reduction"])] = row
+    return out
+
+
+def fmt_key(key):
+    kind, workload, variant = key
+    unit = "workers" if kind == "scaling" else "reduction"
+    return f"{workload} [{unit}={variant}]"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("new", help="freshly generated BENCH_simulator.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_simulator.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative execs/sec drop that counts as a regression "
+        "(default 0.20 = 20%%)",
+    )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when a regression is found (default: report only)",
+    )
+    args = ap.parse_args()
+
+    with open(args.new) as f:
+        new = rows_by_key(json.load(f))
+    with open(args.baseline) as f:
+        base = rows_by_key(json.load(f))
+
+    regressions = []
+    improvements = []
+    for key, brow in sorted(base.items()):
+        nrow = new.get(key)
+        if nrow is None:
+            print(f"::warning::bench_compare: row missing from new run: "
+                  f"{fmt_key(key)}")
+            continue
+        b, n = brow.get("execs_per_sec", 0.0), nrow.get("execs_per_sec", 0.0)
+        if b <= 0:
+            continue
+        delta = (n - b) / b
+        line = (f"{fmt_key(key)}: {b:,.0f} -> {n:,.0f} execs/sec "
+                f"({delta:+.1%})")
+        if delta < -args.threshold:
+            regressions.append(line)
+        elif delta > args.threshold:
+            improvements.append(line)
+        else:
+            print(f"  ok  {line}")
+
+    for line in improvements:
+        print(f"  IMPROVED  {line}")
+    for line in regressions:
+        # Non-blocking by default: annotate, do not fail the job.
+        print(f"::warning::bench_compare regression: {line}")
+
+    for key in sorted(set(new) - set(base)):
+        print(f"  new row (no baseline): {fmt_key(key)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} (non-blocking"
+              f"{'' if not args.strict else ', but --strict is set'})")
+        return 1 if args.strict else 0
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,8 @@ SweepReport check::runSweep(const SweepOptions &O) {
     for (unsigned I = 0; I != O.ScenariosPerLib; ++I) {
       Scenario S = generateScenario(L, scenarioSeed(O.Seed, L, I), O.Gen);
       sim::Explorer::Options Opts =
-          scenarioOptions(S, O.MaxExecutionsPerScenario, O.Workers);
+          scenarioOptions(S, O.MaxExecutionsPerScenario, O.Workers,
+                          O.Reduction);
       auto LinAborts = std::make_shared<std::atomic<uint64_t>>(0);
       sim::Explorer::Summary Sum =
           sim::explore(makeWorkload(S, Mutation::None, Opts, LinAborts));
@@ -45,6 +46,7 @@ SweepReport check::runSweep(const SweepOptions &O) {
       St.Races += Sum.Races;
       St.Deadlocks += Sum.Deadlocks;
       St.Violations += Sum.Violations;
+      St.SleepPruned += Sum.SleepPruned;
       St.MaxDepth = std::max(St.MaxDepth, Sum.MaxDepth);
       St.LinAborts += LinAborts->load();
       St.Truncated += !Sum.Exhausted;
@@ -60,6 +62,7 @@ SweepReport check::runSweep(const SweepOptions &O) {
         Mix(Sum.Races);
         Mix(Sum.Deadlocks);
         Mix(Sum.Violations);
+        Mix(Sum.SleepPruned);
         Mix(Sum.MaxDepth);
       }
       if (Sum.HasViolation && St.FirstBadScenario == ~0u) {
@@ -95,17 +98,17 @@ std::string SweepReport::str() const {
   std::ostringstream OS;
   OS << "conformance sweep: seed=" << Seed << " workers=" << Workers << "\n";
   OS << std::left << std::setw(14) << "lib" << std::right << std::setw(6)
-     << "scen" << std::setw(12) << "execs" << std::setw(7) << "races"
-     << std::setw(7) << "dlock" << std::setw(7) << "viols" << std::setw(9)
-     << "linabrt" << std::setw(7) << "trunc" << std::setw(9) << "maxdep"
-     << "\n";
+     << "scen" << std::setw(12) << "execs" << std::setw(10) << "slept"
+     << std::setw(7) << "races" << std::setw(7) << "dlock" << std::setw(7)
+     << "viols" << std::setw(9) << "linabrt" << std::setw(7) << "trunc"
+     << std::setw(9) << "maxdep" << "\n";
   for (const LibSweepStats &St : PerLib) {
     OS << std::left << std::setw(14) << libName(St.L) << std::right
        << std::setw(6) << St.Scenarios << std::setw(12) << St.Executions
-       << std::setw(7) << St.Races << std::setw(7) << St.Deadlocks
-       << std::setw(7) << St.Violations << std::setw(9) << St.LinAborts
-       << std::setw(7) << St.Truncated << std::setw(9) << St.MaxDepth
-       << "\n";
+       << std::setw(10) << St.SleepPruned << std::setw(7) << St.Races
+       << std::setw(7) << St.Deadlocks << std::setw(7) << St.Violations
+       << std::setw(9) << St.LinAborts << std::setw(7) << St.Truncated
+       << std::setw(9) << St.MaxDepth << "\n";
     if (!St.FirstBad.empty())
       OS << "  first violation (scenario #" << St.FirstBadScenario
          << "): " << St.FirstBad << "\n";
@@ -138,6 +141,7 @@ std::string SweepReport::json() const {
     J.field("races", St.Races);
     J.field("deadlocks", St.Deadlocks);
     J.field("violations", St.Violations);
+    J.field("sleep_pruned", St.SleepPruned);
     J.field("lin_aborts", St.LinAborts);
     J.field("truncated", St.Truncated);
     J.field("max_depth", St.MaxDepth);
@@ -163,7 +167,8 @@ MutantReport check::huntMutant(Mutation Mut, const MutationOptions &O) {
     Scenario S = generateScenario(L, scenarioSeed(O.Seed, L, I), Gen);
     ++R.ScenariosTried;
     std::vector<unsigned> Trace;
-    if (!scenarioFails(S, Mut, O.MaxExecutionsPerScenario, Trace))
+    if (!scenarioFails(S, Mut, O.MaxExecutionsPerScenario, Trace,
+                       O.Reduction))
       continue;
     R.Killed = true;
     R.Killer = S;

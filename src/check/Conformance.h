@@ -40,6 +40,10 @@ struct SweepOptions {
   uint64_t MaxExecutionsPerScenario = 200000;
   std::vector<Lib> Libs; ///< Empty = all libraries.
   GenOptions Gen;
+  /// State-space reduction used per scenario (None = unreduced baseline;
+  /// changes the fingerprint, since exhausted scenarios then fold
+  /// different execution counts).
+  sim::ReductionMode Reduction = sim::ReductionMode::SleepSet;
 };
 
 /// Deterministic per-library aggregate (sum of Summary cores).
@@ -51,6 +55,7 @@ struct LibSweepStats {
   uint64_t Races = 0;
   uint64_t Deadlocks = 0;
   uint64_t Violations = 0;
+  uint64_t SleepPruned = 0; ///< Branches cut by the sleep-set reduction.
   uint64_t MaxDepth = 0; ///< Max over the library's scenarios.
   uint64_t LinAborts = 0; ///< Executions whose witness search hit budget.
   unsigned Truncated = 0; ///< Scenarios whose tree hit the execution cap.
@@ -95,6 +100,9 @@ struct MutationOptions {
   bool Shrink = true;
   ShrinkOptions Shr;
   std::vector<Mutation> Muts; ///< Empty = all mutations (excluding None).
+  /// State-space reduction used while hunting (replay/shrink verification
+  /// of the final counterexample always runs unreduced).
+  sim::ReductionMode Reduction = sim::ReductionMode::SleepSet;
 };
 
 struct MutantReport {

@@ -169,13 +169,15 @@ Verdict ContainerAdapter::verdict(
 
 sim::Explorer::Options check::scenarioOptions(const Scenario &S,
                                               uint64_t MaxExecutions,
-                                              unsigned Workers) {
+                                              unsigned Workers,
+                                              sim::ReductionMode Red) {
   sim::Explorer::Options O;
   O.ExploreMode = sim::Explorer::Mode::Exhaustive;
   O.MaxExecutions = MaxExecutions;
   O.PreemptionBound = S.PreemptionBound;
   O.Workers = Workers;
   O.StopOnViolation = false; // Keep summaries worker-count independent.
+  O.Reduction = Red;
   return O;
 }
 
@@ -208,6 +210,11 @@ sim::Workload::Body bodyFor(std::shared_ptr<RunState> St) {
     switch (R) {
     case sim::Scheduler::RunResult::Pruned:
       // Stutter iteration cut off by Env::prune: vacuously fine.
+      St->LastVerdict = Verdict{};
+      return true;
+    case sim::Scheduler::RunResult::SleepPruned:
+      // Branch cut by the sleep-set reduction: everything below it is
+      // equivalent to an explored sibling, so there is nothing to check.
       St->LastVerdict = Verdict{};
       return true;
     case sim::Scheduler::RunResult::Race:

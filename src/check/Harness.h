@@ -98,10 +98,13 @@ struct RunState {
 
 /// Exploration options tuned for \p S (preemption bound from the scenario,
 /// a per-scenario execution budget, StopOnViolation off so summaries stay
-/// worker-count independent).
-sim::Explorer::Options scenarioOptions(const Scenario &S,
-                                       uint64_t MaxExecutions,
-                                       unsigned Workers);
+/// worker-count independent). Verification defaults to the sleep-set
+/// reduction (DESIGN.md Section 8); pass ReductionMode::None for an
+/// unreduced baseline (e.g. when comparing against pinned fingerprints of
+/// unreduced exploration).
+sim::Explorer::Options
+scenarioOptions(const Scenario &S, uint64_t MaxExecutions, unsigned Workers,
+                sim::ReductionMode Red = sim::ReductionMode::SleepSet);
 
 /// A workload whose body is instantiated per worker (safe for parallel
 /// exploration). Violations are executions whose reference-model verdict

@@ -8,9 +8,11 @@
 /// The conformance-harness command line (README quickstart):
 ///
 ///   compass_check sweep   [--seed N] [--per-lib N] [--workers N]
-///                         [--max-execs N] [--lib NAME]... [--json]
+///                         [--max-execs N] [--lib NAME]...
+///                         [--reduction none|sleep] [--json]
 ///   compass_check mutants [--seed N] [--max-scenarios N] [--max-execs N]
 ///                         [--mut NAME]... [--no-shrink] [--emit-corpus DIR]
+///                         [--reduction none|sleep]
 ///   compass_check replay  FILE...
 ///
 /// `sweep` explores generated scenarios against the pristine libraries and
@@ -42,10 +44,11 @@ namespace {
   std::fprintf(stderr,
                "usage:\n"
                "  compass_check sweep   [--seed N] [--per-lib N] "
-               "[--workers N] [--max-execs N] [--lib NAME]... [--json]\n"
+               "[--workers N] [--max-execs N] [--lib NAME]... "
+               "[--reduction none|sleep] [--json]\n"
                "  compass_check mutants [--seed N] [--max-scenarios N] "
                "[--max-execs N] [--mut NAME]... [--no-shrink] "
-               "[--emit-corpus DIR]\n"
+               "[--emit-corpus DIR] [--reduction none|sleep]\n"
                "  compass_check replay  FILE...\n");
   std::exit(2);
 }
@@ -63,6 +66,15 @@ const char *flagValue(int Argc, char **Argv, int &I, const char *Name) {
   if (I + 1 >= Argc)
     usage((std::string(Name) + " needs a value").c_str());
   return Argv[++I];
+}
+
+sim::ReductionMode parseReduction(const char *V) {
+  std::string S = V;
+  if (S == "none")
+    return sim::ReductionMode::None;
+  if (S == "sleep")
+    return sim::ReductionMode::SleepSet;
+  usage((std::string("bad value for --reduction (none|sleep): ") + V).c_str());
 }
 
 int cmdSweep(int Argc, char **Argv) {
@@ -87,7 +99,10 @@ int cmdSweep(int Argc, char **Argv) {
       if (!parseLib(Name, L))
         usage((std::string("unknown library ") + Name).c_str());
       O.Libs.push_back(L);
-    } else if (A == "--json")
+    } else if (A == "--reduction")
+      O.Reduction =
+          parseReduction(flagValue(Argc, Argv, I, "--reduction"));
+    else if (A == "--json")
       Json = true;
     else
       usage((std::string("unknown sweep flag ") + A).c_str());
@@ -120,6 +135,9 @@ int cmdMutants(int Argc, char **Argv) {
       O.Shrink = false;
     else if (A == "--emit-corpus")
       CorpusDir = flagValue(Argc, Argv, I, "--emit-corpus");
+    else if (A == "--reduction")
+      O.Reduction =
+          parseReduction(flagValue(Argc, Argv, I, "--reduction"));
     else
       usage((std::string("unknown mutants flag ") + A).c_str());
   }

@@ -10,8 +10,9 @@ using namespace compass::check;
 
 bool check::scenarioFails(const Scenario &S, Mutation Mut,
                           uint64_t MaxExecutions,
-                          std::vector<unsigned> &FailingOut) {
-  sim::Explorer::Options Opts = scenarioOptions(S, MaxExecutions, 1);
+                          std::vector<unsigned> &FailingOut,
+                          sim::ReductionMode Red) {
+  sim::Explorer::Options Opts = scenarioOptions(S, MaxExecutions, 1, Red);
   Opts.StopOnViolation = true; // Hunting, not counting.
   sim::Explorer::Summary Sum = exploreSerial(makeWorkload(S, Mut, Opts));
   if (!Sum.HasViolation)

@@ -56,9 +56,12 @@ struct ShrinkResult {
 
 /// True when exploring \p S against \p Mut finds a violating execution
 /// within \p MaxExecutions; on success \p FailingOut receives the first
-/// violation's decision trace.
+/// violation's decision trace. \p Red picks the state-space reduction used
+/// for the hunt; the trace handed back replays fine either way, because
+/// sim::replay never prunes (reduction only skips *unexplored* siblings).
 bool scenarioFails(const Scenario &S, Mutation Mut, uint64_t MaxExecutions,
-                   std::vector<unsigned> &FailingOut);
+                   std::vector<unsigned> &FailingOut,
+                   sim::ReductionMode Red = sim::ReductionMode::SleepSet);
 
 /// Shrinks \p S (known to fail against \p Mut via \p Decisions) per the
 /// file comment. The returned scenario and trace are guaranteed to still

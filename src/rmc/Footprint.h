@@ -1,0 +1,86 @@
+//===-- rmc/Footprint.h - Per-step access footprints ------------*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The access footprint of one machine step: which location it touches and
+/// in which capacity (read / write / update / fence). Footprints are the
+/// interface between the view machine and the sleep-set partial-order
+/// reduction (sim/Reduction.h): the Machine reports the footprint of every
+/// executed operation, the Scheduler tracks the *pending* footprint of each
+/// parked thread, and the reduction layer derives an independence relation
+/// from them.
+///
+/// Independence over view-based steps (DESIGN.md Section 8): a non-SC step
+/// by thread t mutates only t's own view state, plus — for writes/updates —
+/// the history of the single touched cell. Hence two steps by *different*
+/// threads commute whenever
+///  * either is a thread-start step or a non-SC fence (purely thread-local),
+///  * they touch different locations, or
+///  * they touch the same location but both only read (a read never changes
+///    the cell history nor another thread's readable set).
+/// SC accesses and SC fences additionally join/update the machine's global
+/// SC view, so two SC-tagged steps never commute. Kind::None (unknown) is
+/// conservatively dependent on everything.
+///
+/// The commutation is exact modulo allocation renaming: a step may allocate
+/// fresh cells, and swapping two allocating steps renumbers the fresh Locs.
+/// The renamed states are isomorphic, and every property the framework
+/// checks is invariant under that isomorphism, so allocation is treated as
+/// footprint-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_RMC_FOOTPRINT_H
+#define COMPASS_RMC_FOOTPRINT_H
+
+#include "rmc/View.h"
+
+#include <cstdint>
+
+namespace compass::rmc {
+
+/// The access footprint of one machine step; see file comment.
+struct Footprint {
+  /// What the step does to its location.
+  enum class Kind : uint8_t {
+    None,   ///< Unknown / not a memory step: dependent on everything.
+    Start,  ///< Thread-start step (no memory access yet).
+    Read,   ///< Load (including failed-CAS reads and spin-wait loads).
+    Write,  ///< Plain store.
+    Update, ///< RMW: successful CAS or fetch-add (read + write).
+    Fence   ///< Memory fence (no location).
+  };
+
+  Loc L = 0;            ///< Touched location (meaningless for Start/Fence).
+  Kind K = Kind::None;  ///< Access kind.
+  bool Sc = false;      ///< Step joins/updates the global SC view.
+
+  bool isRead() const { return K == Kind::Read; }
+
+  bool operator==(const Footprint &O) const {
+    return L == O.L && K == O.K && Sc == O.Sc;
+  }
+};
+
+/// True when steps with footprints \p A and \p B (by different threads)
+/// commute; see file comment for the derivation.
+inline bool independent(const Footprint &A, const Footprint &B) {
+  if (A.K == Footprint::Kind::None || B.K == Footprint::Kind::None)
+    return false; // Unknown steps are dependent on everything.
+  if (A.Sc && B.Sc)
+    return false; // Both touch the global SC view.
+  if (A.K == Footprint::Kind::Start || B.K == Footprint::Kind::Start)
+    return true; // Thread start touches no memory.
+  if (A.K == Footprint::Kind::Fence || B.K == Footprint::Kind::Fence)
+    return true; // Non-SC fences are thread-local (SC pairs handled above).
+  if (A.L != B.L)
+    return true; // Distinct cells: view effects are thread-local.
+  return A.isRead() && B.isRead(); // Same cell: only read/read commutes.
+}
+
+} // namespace compass::rmc
+
+#endif // COMPASS_RMC_FOOTPRINT_H

@@ -40,6 +40,13 @@ struct Knowledge {
     Events.joinWith(Other.Events);
   }
 
+  /// Empties both components while keeping their backing storage (the
+  /// machine-arena reset path; see View::clear).
+  void clear() {
+    Phys.clear();
+    Events.clear();
+  }
+
   /// Knowledge-inclusion: both components included.
   bool includedIn(const Knowledge &Other) const {
     return Phys.includedIn(Other.Phys) && Events.subsetOf(Other.Events);

@@ -9,19 +9,58 @@
 using namespace compass;
 using namespace compass::rmc;
 
+Knowledge &Machine::ThreadState::relSlot(Loc L) {
+  for (size_t I = 0; I != RelLive; ++I)
+    if (Rel[I].L == L)
+      return Rel[I].K;
+  if (RelLive < Rel.size()) {
+    // Recycle a retained entry (keeps its Knowledge capacity).
+    Rel[RelLive].L = L;
+    Rel[RelLive].K.clear();
+  } else {
+    Rel.push_back(RelEntry{L, Knowledge()});
+  }
+  return Rel[RelLive++].K;
+}
+
+void Machine::ThreadState::clear() {
+  Cur.clear();
+  Acq.clear();
+  RelFence.clear();
+  RelLive = 0;
+  HasRead = false;
+  LastReadLoc = 0;
+  LastReadTs = 0;
+}
+
 unsigned Machine::addThread() {
-  Threads.emplace_back();
-  return static_cast<unsigned>(Threads.size()) - 1;
+  if (LiveThreads < Threads.size())
+    Threads[LiveThreads].clear();
+  else
+    Threads.emplace_back();
+  return static_cast<unsigned>(LiveThreads++);
+}
+
+void Machine::reset() {
+  Mem.reset();
+  LiveThreads = 0;
+  ScPhys.clear();
+  Raced = false;
+  RaceMsg.clear();
+  Trace.clear();
+  LastFp = Footprint();
+  // Counters and OpSeqN are monotonic across resets by design; Tracing is
+  // sticky (the caller that enabled it keeps it).
 }
 
 Machine::ThreadState &Machine::thread(unsigned T) {
-  if (T >= Threads.size())
+  if (T >= LiveThreads)
     fatalError("unknown thread id");
   return Threads[T];
 }
 
 const Machine::ThreadState &Machine::thread(unsigned T) const {
-  if (T >= Threads.size())
+  if (T >= LiveThreads)
     fatalError("unknown thread id");
   return Threads[T];
 }
@@ -77,12 +116,11 @@ void Machine::applyRead(ThreadState &TS, Loc L, const Message &M,
   TS.LastReadTs = M.Ts;
 }
 
-Knowledge Machine::relView(const ThreadState &TS, Loc L) const {
-  Knowledge K = TS.RelFence;
-  auto It = TS.RelPerLoc.find(L);
-  if (It != TS.RelPerLoc.end())
-    K.joinWith(It->second);
-  return K;
+const Knowledge &Machine::relView(const ThreadState &TS, Loc L) {
+  RelScratch = TS.RelFence; // Capacity-reusing copy into the scratch.
+  if (const Knowledge *K = TS.findRel(L))
+    RelScratch.joinWith(*K);
+  return RelScratch;
 }
 
 Timestamp Machine::applyWrite(unsigned T, ThreadState &TS, Loc L, Value V,
@@ -95,12 +133,13 @@ Timestamp Machine::applyWrite(unsigned T, ThreadState &TS, Loc L, Value V,
   TS.Cur.Phys.raise(L, Ts);
   TS.Acq.Phys.raise(L, Ts);
   if (Release)
-    TS.RelPerLoc[L] = Mem.cell(L).History.back().Know;
+    TS.relSlot(L) = Mem.cell(L).History.back().Know;
   return Ts;
 }
 
 Value Machine::load(unsigned T, Loc L, MemOrder O) {
   ++Counters.Loads;
+  noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
 
@@ -133,6 +172,7 @@ Value Machine::load(unsigned T, Loc L, MemOrder O) {
 Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
                          const ValuePred &Pred) {
   ++Counters.Loads;
+  noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   assert(O != MemOrder::NonAtomic && "conditional loads must be atomic");
@@ -144,7 +184,8 @@ Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
 
   Timestamp From = TS.Cur.Phys.get(L);
   // Collect readable messages satisfying the predicate, newest first.
-  std::vector<Timestamp> Candidates;
+  SmallVec<Timestamp, 16> &Candidates = CandScratch;
+  Candidates.clear();
   for (Timestamp Ts = C.latestTs() + 1; Ts-- > From;)
     if (Pred(C.History[Ts].Val))
       Candidates.push_back(Ts);
@@ -177,6 +218,7 @@ bool Machine::anyReadableSatisfies(unsigned T, Loc L,
 
 void Machine::store(unsigned T, Loc L, Value V, MemOrder O) {
   ++Counters.Stores;
+  noteOp(L, Footprint::Kind::Write, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
 
@@ -202,12 +244,13 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
                                 Value Desired, MemOrder SuccO,
                                 MemOrder FailO) {
   ++Counters.Rmws;
+  const bool Sc = SuccO == MemOrder::SeqCst || FailO == MemOrder::SeqCst;
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   assert(SuccO != MemOrder::NonAtomic && FailO != MemOrder::NonAtomic &&
          "CAS must be atomic");
 
-  if (SuccO == MemOrder::SeqCst || FailO == MemOrder::SeqCst) {
+  if (Sc) {
     TS.Cur.Phys.joinWith(ScPhys);
     TS.Acq.Phys.joinWith(ScPhys);
   }
@@ -221,7 +264,8 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
   // the expected value is not a legal read for a strong CAS (atomicity
   // would be violated), so it is simply not offered.
   bool CanSucceed = C.latest().Val == Expected;
-  std::vector<Timestamp> FailTs;
+  SmallVec<Timestamp, 16> &FailTs = FailScratch;
+  FailTs.clear();
   for (Timestamp Ts = Latest + 1; Ts-- > From;)
     if (C.History[Ts].Val != Expected)
       FailTs.push_back(Ts);
@@ -235,6 +279,7 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
                       : Choices.choose(NumAlternatives, "cas");
 
   if (CanSucceed && Pick == 0) {
+    noteOp(L, Footprint::Kind::Update, Sc);
     const Message &R = C.latest();
     applyRead(TS, L, R, SuccO);
     // Release-sequence behaviour: the new message carries the read
@@ -250,6 +295,8 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
     return {true, Expected};
   }
 
+  // A failed CAS only reads.
+  noteOp(L, Footprint::Kind::Read, Sc);
   const Message &R = C.History[FailTs[Pick - (CanSucceed ? 1 : 0)]];
   applyRead(TS, L, R, FailO);
   if (FailO == MemOrder::SeqCst)
@@ -262,6 +309,7 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
 
 Value Machine::fetchAdd(unsigned T, Loc L, Value Add, MemOrder O) {
   ++Counters.Rmws;
+  noteOp(L, Footprint::Kind::Update, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   assert(O != MemOrder::NonAtomic && "RMW must be atomic");
@@ -287,6 +335,7 @@ Value Machine::fetchAdd(unsigned T, Loc L, Value Add, MemOrder O) {
 
 void Machine::fence(unsigned T, MemOrder O) {
   ++Counters.Fences;
+  noteOp(0, Footprint::Kind::Fence, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   switch (O) {
   case MemOrder::Acquire:

@@ -32,15 +32,16 @@
 #ifndef COMPASS_RMC_MACHINE_H
 #define COMPASS_RMC_MACHINE_H
 
+#include "rmc/Footprint.h"
 #include "rmc/Knowledge.h"
 #include "rmc/MemOrder.h"
 #include "rmc/Memory.h"
 #include "support/Choice.h"
+#include "support/SmallVec.h"
 
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace compass::rmc {
@@ -71,8 +72,25 @@ public:
   unsigned addThread();
 
   unsigned numThreads() const {
-    return static_cast<unsigned>(Threads.size());
+    return static_cast<unsigned>(LiveThreads);
   }
+
+  /// Rewinds the machine to its freshly constructed logical state while
+  /// retaining all heap storage (memory cells, thread view vectors, release
+  /// maps, scratch buffers). A Machine reused across the explorer's replays
+  /// reaches steady-state capacity once and stops allocating. Stats and the
+  /// operation sequence number are monotonic across resets.
+  void reset();
+
+  /// The footprint of the most recently executed operation (load / store /
+  /// RMW / fence), for the partial-order-reduction layer. Kind::None until
+  /// the first operation after construction/reset.
+  const Footprint &lastFootprint() const { return LastFp; }
+
+  /// Monotonic count of executed operations (never reset). A caller that
+  /// snapshots opSeq() around a step can tell whether the step performed a
+  /// machine operation at all, and hence whether lastFootprint() is fresh.
+  uint64_t opSeq() const { return OpSeqN; }
 
   /// Allocates \p Count cells initialized to \p Init; see Memory::alloc.
   Loc alloc(std::string Name, unsigned Count = 1, Value Init = 0) {
@@ -144,16 +162,39 @@ public:
   const std::vector<std::string> &trace() const { return Trace; }
 
 private:
+  /// One entry of a thread's per-location release map. The map is a flat
+  /// vector with a live watermark: threads release through a handful of
+  /// locations, so a linear scan beats hashing, and retained entries past
+  /// the watermark keep their Knowledge capacity across executions.
+  struct RelEntry {
+    Loc L = 0;
+    Knowledge K;
+  };
+
   /// Per-thread view state (cur / acq / rel, Section 2.3 and the promising
   /// semantics it references).
   struct ThreadState {
     Knowledge Cur;      ///< Everything po-or-sync before now.
     Knowledge Acq;      ///< Additionally, relaxed-read acquisitions.
     Knowledge RelFence; ///< Released by the last release fence.
-    std::unordered_map<Loc, Knowledge> RelPerLoc; ///< Per-loc release views.
+    std::vector<RelEntry> Rel; ///< Per-loc release views; [0, RelLive) live.
+    size_t RelLive = 0;
     bool HasRead = false; ///< Whether LastRead{Loc,Ts} are valid.
     Loc LastReadLoc = 0;
     Timestamp LastReadTs = 0;
+
+    const Knowledge *findRel(Loc L) const {
+      for (size_t I = 0; I != RelLive; ++I)
+        if (Rel[I].L == L)
+          return &Rel[I].K;
+      return nullptr;
+    }
+
+    /// The release-view slot for \p L, created (or recycled) if absent.
+    Knowledge &relSlot(Loc L);
+
+    /// Empties the state while keeping all backing storage.
+    void clear();
   };
 
   ThreadState &thread(unsigned T);
@@ -163,7 +204,9 @@ private:
   void applyRead(ThreadState &TS, Loc L, const Message &M, MemOrder O);
 
   /// The view a relaxed write to \p L releases (rel(l) ⊔ fence-release).
-  Knowledge relView(const ThreadState &TS, Loc L) const;
+  /// Returns a reference to the member scratch buffer RelScratch; valid
+  /// until the next relView call.
+  const Knowledge &relView(const ThreadState &TS, Loc L);
 
   /// Appends a write and applies writer-side effects. Returns new ts.
   Timestamp applyWrite(unsigned T, ThreadState &TS, Loc L, Value V,
@@ -172,9 +215,19 @@ private:
   void reportRace(unsigned T, Loc L, const char *What);
   void traceOp(unsigned T, const std::string &Line);
 
+  /// Records the footprint of the operation just executed.
+  void noteOp(Loc L, Footprint::Kind K, bool Sc) {
+    LastFp.L = L;
+    LastFp.K = K;
+    LastFp.Sc = Sc;
+    ++OpSeqN;
+  }
+
   ChoiceSource &Choices;
   Memory Mem;
-  std::vector<ThreadState> Threads;
+  std::vector<ThreadState> Threads; ///< [0, LiveThreads) are registered;
+                                    ///< the rest is retained storage.
+  size_t LiveThreads = 0;
 
   /// Global SC view (fences and SeqCst accesses) — *physical only*.
   /// RC11's happens-before orders two SC fences' surroundings only when a
@@ -188,6 +241,16 @@ private:
   Stats Counters;
   bool Tracing = false;
   std::vector<std::string> Trace;
+
+  Footprint LastFp;   ///< Footprint of the most recent operation.
+  uint64_t OpSeqN = 0; ///< Monotonic operation counter (never reset).
+
+  /// Scratch buffers reused across operations so the hot paths allocate
+  /// nothing at steady state (SmallVec keeps the common case inline; the
+  /// Knowledge keeps its capacity across relView calls).
+  Knowledge RelScratch;
+  SmallVec<Timestamp, 16> CandScratch; ///< loadWhere candidate timestamps.
+  SmallVec<Timestamp, 16> FailScratch; ///< CAS failure-read timestamps.
 };
 
 } // namespace compass::rmc

@@ -11,27 +11,45 @@ using namespace compass::rmc;
 
 Loc Memory::alloc(std::string Name, unsigned Count, Value Init) {
   assert(Count >= 1 && "allocating zero cells");
-  Loc Base = static_cast<Loc>(Cells.size());
+  Loc Base = static_cast<Loc>(Live);
   for (unsigned I = 0; I != Count; ++I) {
-    Cell C;
-    C.Name = Count == 1 ? Name : Name + "+" + std::to_string(I);
-    Message Init0;
-    Init0.Ts = 0;
-    Init0.Val = Init;
-    C.History.push_back(std::move(Init0));
-    Cells.push_back(std::move(C));
+    std::string N = Count == 1 ? Name : Name + "+" + std::to_string(I);
+    if (Live < Cells.size()) {
+      // Reuse a retained cell from an earlier execution: reset the history
+      // to the single initial message in place. Allocation order replays
+      // deterministically per decision path, so the retained name usually
+      // matches and the compare avoids a string assignment.
+      Cell &C = Cells[Live];
+      if (C.Name != N)
+        C.Name = N;
+      C.History.resize(1);
+      Message &M0 = C.History.front();
+      M0.Ts = 0;
+      M0.Val = Init;
+      M0.Know.clear();
+      M0.Writer = ~0u;
+    } else {
+      Cell C;
+      C.Name = std::move(N);
+      Message Init0;
+      Init0.Ts = 0;
+      Init0.Val = Init;
+      C.History.push_back(std::move(Init0));
+      Cells.push_back(std::move(C));
+    }
+    ++Live;
   }
   return Base;
 }
 
 const Cell &Memory::cell(Loc L) const {
-  if (L >= Cells.size())
+  if (L >= Live)
     fatalError("memory access to unallocated location");
   return Cells[L];
 }
 
 Cell &Memory::cell(Loc L) {
-  if (L >= Cells.size())
+  if (L >= Live)
     fatalError("memory access to unallocated location");
   return Cells[L];
 }

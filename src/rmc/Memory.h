@@ -53,6 +53,12 @@ struct Cell {
 /// Allocation never reuses locations within one simulation, so simulated
 /// ABA through reallocation cannot occur; simulated data structures that
 /// want to exercise reuse must model it explicitly.
+///
+/// The store is an *arena*: reset() rewinds the allocation watermark
+/// without freeing cell storage, so a Memory reused across the explorer's
+/// millions of replays reaches steady-state capacity once and stops
+/// allocating (cell vector, history vectors, and name strings are all
+/// recycled in allocation order, which replays deterministically).
 class Memory {
 public:
   /// Allocates \p Count fresh cells, named Name, Name+1, ... Each starts
@@ -60,8 +66,8 @@ public:
   /// knowledge (everyone can read it). Returns the first location.
   Loc alloc(std::string Name, unsigned Count = 1, Value Init = 0);
 
-  /// Number of allocated cells.
-  unsigned size() const { return static_cast<unsigned>(Cells.size()); }
+  /// Number of allocated (live) cells.
+  unsigned size() const { return static_cast<unsigned>(Live); }
 
   const Cell &cell(Loc L) const;
   Cell &cell(Loc L);
@@ -74,8 +80,14 @@ public:
   /// readable message has timestamp From + i.
   unsigned countReadableFrom(Loc L, Timestamp From) const;
 
+  /// Rewinds the allocation watermark to empty while keeping all cell
+  /// storage for reuse (see class comment).
+  void reset() { Live = 0; }
+
 private:
-  std::vector<Cell> Cells;
+  std::vector<Cell> Cells; ///< Cells[0..Live) are allocated; the rest is
+                           ///< retained storage from earlier executions.
+  size_t Live = 0;
 };
 
 } // namespace compass::rmc

@@ -15,11 +15,18 @@ void View::raise(Loc L, Timestamp T) {
 }
 
 void View::joinWith(const View &Other) {
-  if (Other.Entries.size() > Entries.size())
-    Entries.resize(Other.Entries.size(), 0);
-  for (size_t I = 0, E = Other.Entries.size(); I != E; ++I)
-    if (Entries[I] < Other.Entries[I])
-      Entries[I] = Other.Entries[I];
+  const size_t OtherSize = Other.Entries.size();
+  if (OtherSize == 0)
+    return; // Joining bottom: common for fresh messages/threads.
+  if (OtherSize > Entries.size())
+    Entries.resize(OtherSize, 0);
+  // The common case grows nothing; help the optimizer vectorize the
+  // pointwise max by working through raw pointers.
+  Timestamp *__restrict__ Dst = Entries.data();
+  const Timestamp *__restrict__ Src = Other.Entries.data();
+  for (size_t I = 0; I != OtherSize; ++I)
+    if (Dst[I] < Src[I])
+      Dst[I] = Src[I];
 }
 
 bool View::includedIn(const View &Other) const {

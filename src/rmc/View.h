@@ -48,6 +48,11 @@ public:
   /// Pointwise maximum in place: this := this ⊔ Other.
   void joinWith(const View &Other);
 
+  /// Drops all entries but keeps the backing storage, so a reused view
+  /// reaches its steady-state capacity once and never reallocates again
+  /// (the machine-arena reset path).
+  void clear() { Entries.clear(); }
+
   /// Returns true if this ⊑ Other (pointwise <=).
   bool includedIn(const View &Other) const;
 

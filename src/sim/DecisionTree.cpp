@@ -10,7 +10,7 @@ using namespace compass;
 using namespace compass::sim;
 
 DecisionTree::DecisionTree(Prefix Seed)
-    : Trace(std::move(Seed)), SeedLen(Trace.size()) {
+    : Trace(std::move(Seed.Path)), SeedLen(Trace.size()) {
 #ifndef NDEBUG
   for (const Decision &D : Trace) {
     assert(D.Chosen < D.Count && "seed decision out of range");
@@ -91,13 +91,14 @@ std::vector<DecisionTree::Prefix> DecisionTree::split(size_t MaxDonations) {
     // Donate the *highest* alternatives so the donor's remaining range
     // [Chosen, Limit) stays contiguous.
     for (unsigned A = D.Limit - Donate; A != D.Limit; ++A) {
-      Prefix P(Trace.begin(), Trace.begin() + I + 1);
+      Prefix P;
+      P.Path.assign(Trace.begin(), Trace.begin() + I + 1);
       // Pin every decision of the donated prefix: the recipient owns
       // exactly the subtree below it.
-      for (Decision &Pd : P)
+      for (Decision &Pd : P.Path)
         Pd.Limit = Pd.Chosen + 1;
-      P.back().Chosen = A;
-      P.back().Limit = A + 1;
+      P.Path.back().Chosen = A;
+      P.Path.back().Limit = A + 1;
       Out.push_back(std::move(P));
     }
     D.Limit -= Donate;

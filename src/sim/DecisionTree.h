@@ -27,12 +27,28 @@
 #ifndef COMPASS_SIM_DECISIONTREE_H
 #define COMPASS_SIM_DECISIONTREE_H
 
+#include "rmc/Footprint.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace compass::sim {
+
+/// One sleeping scheduler move: a thread together with the footprint of its
+/// pending operation at the time it was put to sleep. Used by the sleep-set
+/// partial-order reduction (sim/Reduction.h) and carried inside donated
+/// DecisionTree prefixes so parallel work donation can cross-check the
+/// reduction state a recipient worker recomputes.
+struct SleepMove {
+  unsigned Tid = 0;
+  rmc::Footprint Fp;
+
+  bool operator==(const SleepMove &O) const {
+    return Tid == O.Tid && Fp == O.Fp;
+  }
+};
 
 /// Depth-first frontier over the decision tree of a bounded program.
 class DecisionTree {
@@ -46,8 +62,27 @@ public:
   };
 
   /// An unexplored subtree, produced by split(): a decision prefix that a
-  /// fresh DecisionTree can be seeded with.
-  using Prefix = std::vector<Decision>;
+  /// fresh DecisionTree can be seeded with, plus an optional snapshot of
+  /// the sleep-set reduction state at the prefix's final decision.
+  ///
+  /// The sleep snapshot is *redundant* for correctness — sleep state is a
+  /// pure function of the decision path, so a recipient worker recomputes
+  /// it while replaying the seed — but carrying it lets the recipient
+  /// validate its recomputation against the donor's (fatal on divergence),
+  /// which pins down the worker-count independence of reduced exploration.
+  struct Prefix {
+    std::vector<Decision> Path;
+
+    /// Sleep set in force immediately after the final decision of Path was
+    /// taken (sorted by Tid). Valid only when HasSleep.
+    std::vector<SleepMove> Sleep;
+    /// Which sched choice point the snapshot belongs to: the ordinal of
+    /// the final decision among the "sched"-tagged decisions of Path.
+    size_t SleepOrdinal = 0;
+    /// Set when the final decision of Path is a sched choice and the donor
+    /// ran with the sleep-set reduction enabled.
+    bool HasSleep = false;
+  };
 
   DecisionTree() = default;
 

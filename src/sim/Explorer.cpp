@@ -15,13 +15,25 @@ using namespace compass::sim;
 
 Explorer::Explorer(Options O)
     : Opts(O), Rand(O.Seed), Start(std::chrono::steady_clock::now()),
-      LastProgress(Start) {}
+      LastProgress(Start) {
+  RedEnabled = Opts.Reduction == ReductionMode::SleepSet &&
+               Opts.ExploreMode == Mode::Exhaustive;
+}
 
 Explorer::Explorer() : Explorer(Options{}) {}
 
 Explorer::Explorer(Options O, DecisionTree::Prefix Seed)
-    : Opts(O), Tree(std::move(Seed)), Rand(O.Seed),
-      Start(std::chrono::steady_clock::now()), LastProgress(Start) {}
+    : Opts(O), Rand(O.Seed), Start(std::chrono::steady_clock::now()),
+      LastProgress(Start) {
+  RedEnabled = Opts.Reduction == ReductionMode::SleepSet &&
+               Opts.ExploreMode == Mode::Exhaustive;
+  // Consume the donor's sleep snapshot before the path moves into the
+  // tree; the reduction validates its recomputed state against it when
+  // replay reaches the seeded ordinal.
+  if (RedEnabled && Seed.HasSleep)
+    Red.setSeed(std::move(Seed.Sleep), Seed.SleepOrdinal);
+  Tree = DecisionTree(std::move(Seed));
+}
 
 bool Explorer::hasWork() const {
   if (Opts.ExploreMode == Mode::Random)
@@ -37,6 +49,8 @@ bool Explorer::beginExecution() {
     RandTrace.clear();
   else
     Tree.beginExecution();
+  if (RedEnabled)
+    Red.beginExecution();
   InExecution = true;
   return true;
 }
@@ -134,6 +148,9 @@ void Explorer::endExecution(Scheduler::RunResult R) {
   case Scheduler::RunResult::Pruned:
     ++Sum.Pruned;
     break;
+  case Scheduler::RunResult::SleepPruned:
+    ++Sum.SleepPruned;
+    break;
   }
 
   Sum.MaxDepth = std::max<uint64_t>(Sum.MaxDepth, currentTrace().size());
@@ -188,7 +205,11 @@ bool Explorer::splittable() const {
 
 std::vector<DecisionTree::Prefix> Explorer::split(size_t MaxDonations) {
   assert(!InExecution && "split mid-execution");
-  return Tree.split(MaxDonations);
+  std::vector<DecisionTree::Prefix> Out = Tree.split(MaxDonations);
+  if (RedEnabled)
+    for (DecisionTree::Prefix &P : Out)
+      Red.annotate(P);
+  return Out;
 }
 
 std::string
@@ -250,6 +271,7 @@ bool Explorer::Summary::coreEquals(const Summary &O) const {
   return Executions == O.Executions && Completed == O.Completed &&
          Deadlocks == O.Deadlocks && Races == O.Races &&
          Diverged == O.Diverged && Pruned == O.Pruned &&
+         SleepPruned == O.SleepPruned &&
          Violations == O.Violations && Exhausted == O.Exhausted &&
          MaxDepth == O.MaxDepth && HasViolation == O.HasViolation &&
          SameTrace(FirstViolation, O.FirstViolation) &&
@@ -263,6 +285,7 @@ void Explorer::Summary::mergeCore(const Summary &O) {
   Races += O.Races;
   Diverged += O.Diverged;
   Pruned += O.Pruned;
+  SleepPruned += O.SleepPruned;
   Violations += O.Violations;
   Exhausted = Exhausted && O.Exhausted;
   MaxDepth = std::max(MaxDepth, O.MaxDepth);
@@ -287,6 +310,7 @@ std::string Explorer::Summary::str() const {
   Out += " races=" + std::to_string(Races);
   Out += " diverged=" + std::to_string(Diverged);
   Out += " pruned=" + std::to_string(Pruned);
+  Out += " sleep_pruned=" + std::to_string(SleepPruned);
   Out += " violations=" + std::to_string(Violations);
   Out += Exhausted ? " (exhaustive)" : " (truncated)";
   return Out;
@@ -301,6 +325,7 @@ std::string Explorer::Summary::json() const {
   J.field("races", Races);
   J.field("diverged", Diverged);
   J.field("pruned", Pruned);
+  J.field("sleep_pruned", SleepPruned);
   J.field("violations", Violations);
   J.field("exhausted", Exhausted);
   J.field("max_depth", MaxDepth);

@@ -46,6 +46,7 @@
 #define COMPASS_SIM_EXPLORER_H
 
 #include "sim/DecisionTree.h"
+#include "sim/Reduction.h"
 #include "sim/Scheduler.h"
 #include "support/Choice.h"
 #include "support/Rng.h"
@@ -57,6 +58,12 @@
 #include <vector>
 
 namespace compass::sim {
+
+/// Which state-space reduction the explorer applies (DESIGN.md Section 8).
+enum class ReductionMode {
+  None,    ///< Plain exhaustive DFS (baseline; fingerprint-stable).
+  SleepSet ///< Sleep-set partial-order reduction over sched choices.
+};
 
 /// Explores the decision tree of a bounded concurrent program.
 class Explorer : public ChoiceSource {
@@ -79,6 +86,11 @@ public:
                                   ///< truncates the run, so counters are no
                                   ///< longer worker-count independent.
     double ProgressIntervalSec = 0; ///< >0: periodic stderr progress lines.
+    /// State-space reduction. Only effective in exhaustive mode; replay
+    /// and random sampling always run unreduced. Keep None when an
+    /// execution-count baseline (e.g. a pinned fingerprint comparison
+    /// against unreduced exploration) is required.
+    ReductionMode Reduction = ReductionMode::None;
   };
 
   /// Per-tag statistics over the choice points of all explored executions.
@@ -106,6 +118,7 @@ public:
     uint64_t Races = 0;
     uint64_t Diverged = 0;   ///< Runs cut off by the step budget.
     uint64_t Pruned = 0;     ///< Stutter iterations cut by Env::prune.
+    uint64_t SleepPruned = 0; ///< Branches cut by the sleep-set reduction.
     uint64_t Violations = 0; ///< Executions whose check failed.
     bool Exhausted = false;  ///< Whole tree covered (exhaustive mode).
     uint64_t MaxDepth = 0;   ///< Deepest decision sequence seen.
@@ -194,13 +207,21 @@ public:
   bool splittable() const;
 
   /// Donates up to \p MaxDonations unexplored subtree prefixes from the
-  /// shallowest open choice point; see DecisionTree::split().
+  /// shallowest open choice point; see DecisionTree::split(). When the
+  /// sleep-set reduction is active, each donated prefix is annotated with
+  /// the donor's sleep state so the recipient can cross-check its own.
   std::vector<DecisionTree::Prefix> split(size_t MaxDonations);
+
+  /// The sleep-set reduction driving this explorer, or nullptr when
+  /// reduction is off. Hand it to Scheduler::setReduction().
+  Reduction *reduction() { return RedEnabled ? &Red : nullptr; }
 
 private:
   Options Opts;
   Summary Sum;
   DecisionTree Tree;
+  Reduction Red;
+  bool RedEnabled = false;
   /// Random-mode decision log (the DFS tree is unused in random mode, but
   /// failures must still be replayable — see currentDecisions()).
   std::vector<DecisionTree::Decision> RandTrace;
@@ -231,10 +252,16 @@ template <typename SetupT, typename CheckT>
 Explorer::Summary explore(Explorer::Options Opts, SetupT Setup,
                           CheckT Check) {
   Explorer Ex(Opts);
+  // One machine/scheduler pair serves every execution: reset() rewinds
+  // their logical state while retaining heap storage, so steady-state
+  // replays allocate nothing (the arena pattern; see rmc::Machine::reset).
+  rmc::Machine M(Ex);
+  Scheduler S(M, Ex);
+  S.setPreemptionBound(Opts.PreemptionBound);
+  S.setReduction(Ex.reduction());
   while (Ex.beginExecution()) {
-    rmc::Machine M(Ex);
-    Scheduler S(M, Ex);
-    S.setPreemptionBound(Opts.PreemptionBound);
+    M.reset();
+    S.reset();
     Setup(M, S);
     Scheduler::RunResult R = S.run(Opts.MaxStepsPerExec);
     if constexpr (std::is_same_v<decltype(Check(M, S, R)), bool>) {

@@ -113,6 +113,12 @@ Explorer::Summary ParallelExplorer::run() {
     DecisionTree::Prefix Prefix;
     while (Sh.pop(Prefix)) {
       Explorer Ex(WOpts, std::move(Prefix));
+      // One machine/scheduler pair per subtree, reset between executions
+      // (the arena pattern; see rmc::Machine::reset).
+      rmc::Machine M(Ex);
+      Scheduler S(M, Ex);
+      S.setPreemptionBound(Opts.PreemptionBound);
+      S.setReduction(Ex.reduction());
       for (;;) {
         if (Sh.Stop.load(std::memory_order_relaxed))
           break;
@@ -127,9 +133,8 @@ Explorer::Summary ParallelExplorer::run() {
         (void)Began;
         assert(Began && "hasWork() promised an execution");
 
-        rmc::Machine M(Ex);
-        Scheduler S(M, Ex);
-        S.setPreemptionBound(Opts.PreemptionBound);
+        M.reset();
+        S.reset();
         Body.Setup(M, S);
         Scheduler::RunResult R = S.run(Opts.MaxStepsPerExec);
         bool Ok = Body.Check ? Body.Check(M, S, R) : true;

@@ -1,0 +1,122 @@
+//===-- sim/Reduction.cpp - Sleep-set partial-order reduction -------------===//
+
+#include "sim/Reduction.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace compass;
+using namespace compass::sim;
+
+void Reduction::beginExecution() {
+  Cur.clear();
+  NumPoints = 0; // Points are recycled in order; their vectors keep
+                 // capacity across executions.
+}
+
+bool Reduction::isAsleep(unsigned Tid) const {
+  // A sleeping entry refers to its thread's pending operation; the thread
+  // has not run since it was put to sleep, so matching by Tid suffices.
+  for (const SleepMove &Mv : Cur)
+    if (Mv.Tid == Tid)
+      return true;
+  return false;
+}
+
+void Reduction::insertMove(std::vector<SleepMove> &S, unsigned Tid,
+                           const rmc::Footprint &Fp) {
+  // Insert sorted by Tid, deduplicating: a thread has one pending move.
+  size_t I = 0;
+  for (size_t E = S.size(); I != E; ++I) {
+    if (S[I].Tid == Tid)
+      return;
+    if (S[I].Tid > Tid)
+      break;
+  }
+  S.insert(S.begin() + I, SleepMove{Tid, Fp});
+}
+
+bool Reduction::onSchedChoice(const std::vector<unsigned> &Enabled,
+                              const std::vector<rmc::Footprint> &Fps,
+                              unsigned Pick) {
+  assert(Enabled.size() == Fps.size() && Pick < Enabled.size());
+  const size_t Ord = NumPoints;
+
+  // Record the point so split()-time annotation can reconstruct the sleep
+  // state of any alternative at it.
+  if (NumPoints == Points.size())
+    Points.emplace_back();
+  SchedPoint &Pt = Points[NumPoints++];
+  Pt.Entry = Cur; // Capacity-reusing copy.
+  Pt.Alts.clear();
+  for (size_t I = 0, E = Enabled.size(); I != E; ++I)
+    Pt.Alts.push_back(SleepMove{Enabled[I], Fps[I]});
+
+  // DFS order: alternatives j < Pick were fully explored in sibling
+  // branches (by this worker or, for donated prefixes, by the donor side),
+  // so delaying them past independent steps is redundant.
+  for (unsigned J = 0; J != Pick; ++J)
+    insertMove(Cur, Enabled[J], Fps[J]);
+
+  // Cross-worker validation: when replaying a donated seed, the state we
+  // just recomputed must match the donor's snapshot exactly.
+  if (HasSeed && Ord == SeedOrdinal && !(Cur == Seed))
+    fatalError("sleep-set state diverged from the donated prefix snapshot; "
+               "reduced exploration would depend on work distribution");
+
+  return isAsleep(Enabled[Pick]);
+}
+
+void Reduction::onStepExecuted(unsigned Tid, const rmc::Footprint &F) {
+  // Wake (erase) every sleeping move dependent on the executed step. The
+  // executing thread's own entry is always dropped: consecutive steps of
+  // one thread are program-ordered and never commute.
+  size_t Out = 0;
+  for (size_t I = 0, E = Cur.size(); I != E; ++I) {
+    const SleepMove &Mv = Cur[I];
+    assert(Mv.Tid != Tid && "scheduler executed a sleeping move");
+    if (Mv.Tid != Tid && rmc::independent(F, Mv.Fp)) {
+      if (Out != I)
+        Cur[Out] = Mv;
+      ++Out;
+    }
+  }
+  Cur.resize(Out);
+}
+
+void Reduction::setSeed(std::vector<SleepMove> Sleep, size_t Ordinal) {
+  Seed = std::move(Sleep);
+  SeedOrdinal = Ordinal;
+  HasSeed = true;
+}
+
+void Reduction::annotate(DecisionTree::Prefix &P) const {
+  P.HasSleep = false;
+  P.Sleep.clear();
+  if (P.Path.empty())
+    return;
+  const DecisionTree::Decision &Last = P.Path.back();
+  if (!Last.Tag || std::strcmp(Last.Tag, "sched") != 0)
+    return;
+
+  // The ordinal of the final decision among the sched-tagged decisions of
+  // the path; sched decisions correspond 1:1, in order, to the recorded
+  // SchedPoints of the execution the path was split from (annotation runs
+  // between executions, when the donor's trace prefix up to the split node
+  // still matches the last executed path).
+  size_t K = 0;
+  for (size_t I = 0, E = P.Path.size() - 1; I != E; ++I)
+    if (P.Path[I].Tag && std::strcmp(P.Path[I].Tag, "sched") == 0)
+      ++K;
+  if (K >= NumPoints)
+    return; // No execution has reached this point yet; leave unannotated.
+
+  const SchedPoint &Pt = Points[K];
+  P.Sleep = Pt.Entry;
+  for (unsigned J = 0; J < Last.Chosen && J < Pt.Alts.size(); ++J)
+    insertMove(P.Sleep, Pt.Alts[J].Tid, Pt.Alts[J].Fp);
+  P.SleepOrdinal = K;
+  P.HasSleep = true;
+}

@@ -1,0 +1,116 @@
+//===-- sim/Reduction.h - Sleep-set partial-order reduction -----*- C++ -*-===//
+//
+// Part of compass-cxx. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sleep-set partial-order reduction [Godefroid] over the scheduler's
+/// thread-choice points, specialized to the view-based RMC machine
+/// (DESIGN.md Section 8).
+///
+/// The idea: after the explorer finishes the branch that schedules thread t
+/// at a choice point, the sibling branches need not re-explore interleavings
+/// that merely *delay* t past steps independent of t's pending operation —
+/// swapping adjacent independent steps yields the identical machine state,
+/// so every execution reachable that way was already covered. Concretely,
+/// when the DFS takes alternative `Pick` at a `sched` choice point, every
+/// alternative j < Pick (already fully explored in sibling branches, in DFS
+/// order) is put to *sleep*. A sleeping move wakes as soon as any executed
+/// step is dependent on it (rmc::independent over footprints); if the
+/// scheduler is about to run a move that is still asleep, the whole branch
+/// is pruned — every execution below it is equivalent to one in an explored
+/// sibling.
+///
+/// Only `sched`-tagged decisions participate: read-from and CAS-outcome
+/// choice points are never pruned, so the reduction is transparent to the
+/// memory model's nondeterminism. Sleep state is recomputed online from the
+/// decision path on every execution (it is a pure function of the path), so
+/// replayed prefixes — including seeded prefixes adopted from another
+/// worker — deterministically reconstruct the donor's state; donated
+/// prefixes carry a snapshot (DecisionTree::Prefix::Sleep) that the
+/// recipient validates against its recomputation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMPASS_SIM_REDUCTION_H
+#define COMPASS_SIM_REDUCTION_H
+
+#include "rmc/Footprint.h"
+#include "sim/DecisionTree.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace compass::sim {
+
+/// Online sleep-set state for one explorer (one worker); see file comment.
+/// All containers are watermarked/recycled so steady-state executions do
+/// not allocate.
+class Reduction {
+public:
+  /// Clears the per-execution state; call before each execution.
+  void beginExecution();
+
+  /// Hook for a real `sched` choice (arity > 1, not preemption-forced):
+  /// records the choice point, puts alternatives j < \p Pick to sleep,
+  /// validates against the donated seed snapshot when this is the seeded
+  /// ordinal, and reports whether the picked move is asleep (in which case
+  /// the scheduler must abandon the execution as SleepPruned).
+  ///
+  /// \p Enabled are the schedulable threads, \p Fps their pending-operation
+  /// footprints (parallel arrays), \p Pick the index chosen by the
+  /// decision tree.
+  bool onSchedChoice(const std::vector<unsigned> &Enabled,
+                     const std::vector<rmc::Footprint> &Fps, unsigned Pick);
+
+  /// Hook for a forced or singleton schedule (no tree decision recorded):
+  /// prune-check only — never adds sleeps, because no sibling branch
+  /// exists at such a point.
+  bool onSchedule(unsigned Tid) const { return isAsleep(Tid); }
+
+  /// Hook after a machine step by \p Tid with executed footprint \p F:
+  /// wakes every sleeping move dependent on the step (and drops \p Tid's
+  /// own entry if present — a thread's consecutive steps never commute).
+  void onStepExecuted(unsigned Tid, const rmc::Footprint &F);
+
+  /// Installs the donor's sleep snapshot for a seeded (donated) prefix:
+  /// when the recomputed state reaches sched ordinal \p Ordinal, it is
+  /// compared against \p Sleep; divergence is fatal (it would mean reduced
+  /// exploration depends on the work distribution).
+  void setSeed(std::vector<SleepMove> Sleep, size_t Ordinal);
+
+  /// Annotates a donated prefix with the sleep state in force after its
+  /// final decision. Only prefixes ending in a `sched` decision are
+  /// annotated (P.HasSleep is cleared otherwise); recipients of
+  /// unannotated prefixes still recompute the correct state, they just
+  /// skip the cross-worker validation.
+  void annotate(DecisionTree::Prefix &P) const;
+
+  /// The current sleep set (sorted by Tid); exposed for tests.
+  const std::vector<SleepMove> &current() const { return Cur; }
+
+private:
+  bool isAsleep(unsigned Tid) const;
+  static void insertMove(std::vector<SleepMove> &S, unsigned Tid,
+                         const rmc::Footprint &Fp);
+
+  /// Snapshot of one sched choice point of the current execution, kept so
+  /// split() can annotate donated prefixes ending at any such point.
+  struct SchedPoint {
+    std::vector<SleepMove> Entry; ///< Sleep set before this point's adds.
+    std::vector<SleepMove> Alts;  ///< Enabled moves, in choice order.
+  };
+
+  std::vector<SleepMove> Cur;     ///< Current sleep set, sorted by Tid.
+  std::vector<SchedPoint> Points; ///< [0, NumPoints) valid this execution.
+  size_t NumPoints = 0;
+
+  std::vector<SleepMove> Seed; ///< Donor snapshot (sorted by Tid).
+  size_t SeedOrdinal = 0;
+  bool HasSeed = false;
+};
+
+} // namespace compass::sim
+
+#endif // COMPASS_SIM_REDUCTION_H

@@ -3,6 +3,7 @@
 
 #include "sim/Scheduler.h"
 
+#include "sim/Reduction.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -12,13 +13,43 @@ using namespace compass::sim;
 
 Env &Scheduler::newThread() {
   unsigned Tid = M.addThread();
+  if (LiveThreads < Threads.size()) {
+    // Recycle a retained record from an earlier execution. Executions
+    // re-create threads in the same order, so the recycled Env (whose M,
+    // S and Tid are immutable) is exactly the one this thread needs.
+    ThreadRec &Rec = *Threads[LiveThreads];
+    assert(Rec.E && Rec.E->Tid == Tid &&
+           "thread records must be recycled in creation order");
+    Rec.Root = Task<void>(); // Destroys any leftover coroutine frame.
+    Rec.Pending = nullptr;
+    Rec.NextFp = rmc::Footprint();
+    Rec.Started = false;
+    Rec.Done = false;
+    Rec.Blocked = false;
+    Rec.WaitLoc = 0;
+    Rec.WaitPred = nullptr;
+    ++LiveThreads;
+    return *Rec.E;
+  }
   auto Rec = std::make_unique<ThreadRec>();
   Rec->E = std::make_unique<Env>(Env{M, *this, Tid});
   Env &Out = *Rec->E;
   Threads.push_back(std::move(Rec));
-  assert(Threads.size() == M.numThreads() &&
+  ++LiveThreads;
+  assert(LiveThreads == M.numThreads() &&
          "threads must be created through the scheduler");
   return Out;
+}
+
+void Scheduler::reset() {
+  LiveThreads = 0;
+  Steps = 0;
+  Preemptions = 0;
+  LastRun = ~0u;
+  PruneRequested = false;
+  // Thread records, PreemptionBound and the reduction hook persist; the
+  // caller resets the machine and (for reduced runs) the Reduction
+  // separately.
 }
 
 void Scheduler::start(Env &E, Task<void> Root) {
@@ -28,31 +59,37 @@ void Scheduler::start(Env &E, Task<void> Root) {
   Rec.Root = std::move(Root);
   Rec.Pending = Rec.Root.handle();
   Rec.Started = true;
+  // The first resume runs thread-local setup up to the first memory
+  // operation; it touches no shared state.
+  Rec.NextFp = rmc::Footprint{0, rmc::Footprint::Kind::Start, false};
 }
 
-void Scheduler::park(unsigned Tid, std::coroutine_handle<> H) {
+void Scheduler::park(unsigned Tid, std::coroutine_handle<> H,
+                     rmc::Footprint Fp) {
   ThreadRec &Rec = *Threads[Tid];
   assert(!Rec.Pending && "thread parked twice without being scheduled");
   Rec.Pending = H;
+  Rec.NextFp = Fp;
   Rec.Blocked = false;
 }
 
 void Scheduler::parkBlocked(unsigned Tid, std::coroutine_handle<> H,
-                            rmc::Loc L, rmc::ValuePred Pred) {
+                            rmc::Loc L, rmc::ValuePred Pred,
+                            rmc::Footprint Fp) {
   ThreadRec &Rec = *Threads[Tid];
   assert(!Rec.Pending && "thread parked twice without being scheduled");
   Rec.Pending = H;
+  Rec.NextFp = Fp;
   Rec.Blocked = true;
   Rec.WaitLoc = L;
   Rec.WaitPred = std::move(Pred);
 }
 
 Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
-  for (auto &Rec : Threads)
-    if (!Rec->Started)
+  for (size_t I = 0; I != LiveThreads; ++I)
+    if (!Threads[I]->Started)
       fatalError("scheduler run() with an unstarted thread");
 
-  std::vector<unsigned> Enabled;
   for (;;) {
     if (M.raceDetected())
       return RunResult::Race;
@@ -61,8 +98,8 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
 
     Enabled.clear();
     bool AnyUnfinished = false;
-    for (unsigned Tid = 0, E = static_cast<unsigned>(Threads.size());
-         Tid != E; ++Tid) {
+    for (unsigned Tid = 0, E = static_cast<unsigned>(LiveThreads); Tid != E;
+         ++Tid) {
       ThreadRec &Rec = *Threads[Tid];
       if (Rec.Done)
         continue;
@@ -86,25 +123,63 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
     for (unsigned Tid : Enabled)
       LastEnabled |= Tid == LastRun;
     unsigned Pick;
+    bool Chose = false; // Whether a real "sched" decision was recorded.
     if (LastEnabled && Preemptions >= PreemptionBound) {
       Pick = 0;
       while (Enabled[Pick] != LastRun)
         ++Pick;
     } else {
-      Pick = Enabled.size() == 1
-                 ? 0
-                 : Choices.choose(static_cast<unsigned>(Enabled.size()),
-                                  "sched");
+      if (Enabled.size() == 1) {
+        Pick = 0;
+      } else {
+        Pick = Choices.choose(static_cast<unsigned>(Enabled.size()),
+                              "sched");
+        Chose = true;
+      }
       if (LastEnabled && Enabled[Pick] != LastRun)
         ++Preemptions;
     }
+
+    if (Red) {
+      bool Asleep;
+      if (Chose) {
+        // A real choice point: siblings exist, so alternatives before the
+        // pick go to sleep and the pick itself is prune-checked.
+        EnabledFps.clear();
+        for (unsigned Tid : Enabled)
+          EnabledFps.push_back(Threads[Tid]->NextFp);
+        Asleep = Red->onSchedChoice(Enabled, EnabledFps, Pick);
+      } else {
+        // Forced or singleton pick: no sibling branch covers a delayed
+        // version of a sleeping move here, so only prune-check.
+        Asleep = Red->onSchedule(Enabled[Pick]);
+      }
+      if (Asleep)
+        return RunResult::SleepPruned;
+    }
+
     LastRun = Enabled[Pick];
     ThreadRec &Rec = *Threads[Enabled[Pick]];
     Rec.Blocked = false;
     std::coroutine_handle<> H = Rec.Pending;
     Rec.Pending = nullptr;
+    const uint64_t Seq0 = M.opSeq();
     H.resume();
     ++Steps;
+
+    if (Red) {
+      // Report the executed step so dependent sleeping moves wake. A
+      // resume normally performs exactly one machine operation (the parked
+      // awaiter's); the start resume and Env::prune perform none. Anything
+      // else (client code invoking the machine directly mid-step) is
+      // reported with an unknown footprint, which wakes everyone —
+      // conservative but sound.
+      const uint64_t Delta = M.opSeq() - Seq0;
+      if (Delta == 1)
+        Red->onStepExecuted(LastRun, M.lastFootprint());
+      else if (Delta > 1)
+        Red->onStepExecuted(LastRun, rmc::Footprint());
+    }
 
     // The thread either parked a new pending handle (at its next memory
     // operation) or ran to completion.

@@ -33,6 +33,7 @@
 
 namespace compass::sim {
 
+class Reduction;
 class Scheduler;
 
 /// Per-thread execution environment handed to simulated-thread coroutines.
@@ -70,11 +71,12 @@ class Scheduler {
 public:
   /// Why a run ended.
   enum class RunResult {
-    Done,      ///< All threads finished.
-    Deadlock,  ///< Unfinished threads, none enabled.
-    Race,      ///< The machine flagged a non-atomic data race.
-    StepLimit, ///< The step budget was exhausted (diverged/unfair run).
-    Pruned     ///< A thread flagged a stutter iteration (Env::prune).
+    Done,       ///< All threads finished.
+    Deadlock,   ///< Unfinished threads, none enabled.
+    Race,       ///< The machine flagged a non-atomic data race.
+    StepLimit,  ///< The step budget was exhausted (diverged/unfair run).
+    Pruned,     ///< A thread flagged a stutter iteration (Env::prune).
+    SleepPruned ///< The sleep-set reduction cut this branch (Reduction.h).
   };
 
   Scheduler(rmc::Machine &M, ChoiceSource &Choices)
@@ -89,6 +91,20 @@ public:
   void setPreemptionBound(unsigned Bound) { PreemptionBound = Bound; }
 
   unsigned preemptionsUsed() const { return Preemptions; }
+
+  /// Attaches a sleep-set reduction (or nullptr to disable). The scheduler
+  /// feeds it every thread-choice point and every executed step; when it
+  /// reports the picked move asleep, run() ends with SleepPruned. The
+  /// pointer must stay valid for the scheduler's lifetime. Persists across
+  /// reset().
+  void setReduction(Reduction *R) { Red = R; }
+
+  /// Rewinds the scheduler to its pre-newThread() state while retaining
+  /// thread records (Env objects, coroutine task slots, scratch vectors)
+  /// for reuse by the next execution's newThread() calls, which must
+  /// re-create threads in the same order. PreemptionBound and the
+  /// reduction hook persist.
+  void reset();
 
   /// Creates a new simulated thread and returns its environment. The
   /// returned reference is stable for the scheduler's lifetime. Pass it to
@@ -108,10 +124,12 @@ public:
   /// True if the thread \p Tid has finished. Valid after run().
   bool finished(unsigned Tid) const { return Threads[Tid]->Done; }
 
-  // Internal API used by the awaitables.
-  void park(unsigned Tid, std::coroutine_handle<> H);
+  // Internal API used by the awaitables. \p Fp is the footprint of the
+  // operation the thread will perform when next scheduled, for the
+  // reduction layer's independence checks.
+  void park(unsigned Tid, std::coroutine_handle<> H, rmc::Footprint Fp);
   void parkBlocked(unsigned Tid, std::coroutine_handle<> H, rmc::Loc L,
-                   rmc::ValuePred Pred);
+                   rmc::ValuePred Pred, rmc::Footprint Fp);
   void requestPrune() { PruneRequested = true; }
 
 private:
@@ -119,6 +137,7 @@ private:
     std::unique_ptr<Env> E;
     Task<void> Root;
     std::coroutine_handle<> Pending;
+    rmc::Footprint NextFp; ///< Footprint of the pending operation.
     bool Started = false;
     bool Done = false;
     bool Blocked = false;
@@ -128,30 +147,42 @@ private:
 
   rmc::Machine &M;
   ChoiceSource &Choices;
-  std::vector<std::unique_ptr<ThreadRec>> Threads;
+  std::vector<std::unique_ptr<ThreadRec>> Threads; ///< [0, LiveThreads)
+                                                   ///< live; rest retained.
+  size_t LiveThreads = 0;
   uint64_t Steps = 0;
   unsigned PreemptionBound = ~0u;
   unsigned Preemptions = 0;
   unsigned LastRun = ~0u;
   bool PruneRequested = false;
+  Reduction *Red = nullptr;
+
+  /// Scratch for run()'s per-step enabled-thread scan (allocation-free at
+  /// steady state).
+  std::vector<unsigned> Enabled;
+  std::vector<rmc::Footprint> EnabledFps;
 };
 
 namespace detail {
 
-/// Base for one-shot memory-operation awaitables: suspend to the scheduler,
-/// perform the access on resume.
+/// Base for one-shot memory-operation awaitables: suspend to the scheduler
+/// (announcing the pending operation's footprint), perform the access on
+/// resume.
 struct OpAwaiterBase {
   Env &E;
-  explicit OpAwaiterBase(Env &E) : E(E) {}
+  rmc::Footprint Fp;
+  OpAwaiterBase(Env &E, rmc::Footprint Fp) : E(E), Fp(Fp) {}
   bool await_ready() const { return false; }
-  void await_suspend(std::coroutine_handle<> H) { E.S.park(E.Tid, H); }
+  void await_suspend(std::coroutine_handle<> H) { E.S.park(E.Tid, H, Fp); }
 };
 
 struct LoadAwaiter : OpAwaiterBase {
   rmc::Loc L;
   rmc::MemOrder O;
   LoadAwaiter(Env &E, rmc::Loc L, rmc::MemOrder O)
-      : OpAwaiterBase(E), L(L), O(O) {}
+      : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Read,
+                          O == rmc::MemOrder::SeqCst}),
+        L(L), O(O) {}
   rmc::Value await_resume() { return E.M.load(E.Tid, L, O); }
 };
 
@@ -160,7 +191,9 @@ struct StoreAwaiter : OpAwaiterBase {
   rmc::Value V;
   rmc::MemOrder O;
   StoreAwaiter(Env &E, rmc::Loc L, rmc::Value V, rmc::MemOrder O)
-      : OpAwaiterBase(E), L(L), V(V), O(O) {}
+      : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Write,
+                          O == rmc::MemOrder::SeqCst}),
+        L(L), V(V), O(O) {}
   void await_resume() { E.M.store(E.Tid, L, V, O); }
 };
 
@@ -168,10 +201,16 @@ struct CasAwaiter : OpAwaiterBase {
   rmc::Loc L;
   rmc::Value Expected, Desired;
   rmc::MemOrder SuccO, FailO;
+  // The pending footprint is the pessimistic Update: whether the CAS will
+  // succeed depends on the state at execution time. The machine reports
+  // the precise executed footprint (Read on failure) afterwards.
   CasAwaiter(Env &E, rmc::Loc L, rmc::Value Expected, rmc::Value Desired,
              rmc::MemOrder SuccO, rmc::MemOrder FailO)
-      : OpAwaiterBase(E), L(L), Expected(Expected), Desired(Desired),
-        SuccO(SuccO), FailO(FailO) {}
+      : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Update,
+                          SuccO == rmc::MemOrder::SeqCst ||
+                              FailO == rmc::MemOrder::SeqCst}),
+        L(L), Expected(Expected), Desired(Desired), SuccO(SuccO),
+        FailO(FailO) {}
   rmc::Machine::CasResult await_resume() {
     return E.M.cas(E.Tid, L, Expected, Desired, SuccO, FailO);
   }
@@ -182,13 +221,18 @@ struct FaaAwaiter : OpAwaiterBase {
   rmc::Value Add;
   rmc::MemOrder O;
   FaaAwaiter(Env &E, rmc::Loc L, rmc::Value Add, rmc::MemOrder O)
-      : OpAwaiterBase(E), L(L), Add(Add), O(O) {}
+      : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Update,
+                          O == rmc::MemOrder::SeqCst}),
+        L(L), Add(Add), O(O) {}
   rmc::Value await_resume() { return E.M.fetchAdd(E.Tid, L, Add, O); }
 };
 
 struct FenceAwaiter : OpAwaiterBase {
   rmc::MemOrder O;
-  FenceAwaiter(Env &E, rmc::MemOrder O) : OpAwaiterBase(E), O(O) {}
+  FenceAwaiter(Env &E, rmc::MemOrder O)
+      : OpAwaiterBase(E, {0, rmc::Footprint::Kind::Fence,
+                          O == rmc::MemOrder::SeqCst}),
+        O(O) {}
   void await_resume() { E.M.fence(E.Tid, O); }
 };
 
@@ -198,8 +242,9 @@ struct PruneAwaiter {
   bool await_ready() const { return false; }
   void await_suspend(std::coroutine_handle<> H) {
     // Re-park so coroutine teardown stays uniform; the scheduler stops
-    // before ever resuming this thread again.
-    E.S.park(E.Tid, H);
+    // before ever resuming this thread again. Kind::None: dependent on
+    // everything (irrelevant in practice — the run ends here).
+    E.S.park(E.Tid, H, rmc::Footprint());
     E.S.requestPrune();
   }
   void await_resume() {}
@@ -214,7 +259,9 @@ struct SpinAwaiter {
       : E(E), L(L), Pred(std::move(Pred)), O(O) {}
   bool await_ready() const { return false; }
   void await_suspend(std::coroutine_handle<> H) {
-    E.S.parkBlocked(E.Tid, H, L, Pred);
+    E.S.parkBlocked(E.Tid, H, L, Pred,
+                    {L, rmc::Footprint::Kind::Read,
+                     O == rmc::MemOrder::SeqCst});
   }
   rmc::Value await_resume() { return E.M.loadWhere(E.Tid, L, O, Pred); }
 };

@@ -182,10 +182,15 @@ inline std::string formatReplayCall(const std::vector<unsigned> &Decisions,
 inline Explorer::Summary exploreSerial(const Workload &W) {
   Explorer Ex(W.options());
   Workload::Body Body = W.makeBody();
+  // One machine/scheduler pair serves every execution (the arena pattern;
+  // see rmc::Machine::reset): steady-state replays allocate nothing.
+  rmc::Machine M(Ex);
+  Scheduler S(M, Ex);
+  S.setPreemptionBound(W.options().PreemptionBound);
+  S.setReduction(Ex.reduction());
   while (Ex.beginExecution()) {
-    rmc::Machine M(Ex);
-    Scheduler S(M, Ex);
-    S.setPreemptionBound(W.options().PreemptionBound);
+    M.reset();
+    S.reset();
     Body.Setup(M, S);
     Scheduler::RunResult R = S.run(W.options().MaxStepsPerExec);
     bool Ok = Body.Check ? Body.Check(M, S, R) : true;

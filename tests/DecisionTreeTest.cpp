@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/DecisionTree.h"
+#include "sim/Reduction.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -151,7 +152,8 @@ TEST(DecisionTreeTest, SeededTreeEnumeratesExactlyItsSubtree) {
   auto P = uniform({3, 2, 2});
   // Build the seed for subtree {1, *, *} the way split() would: pinned
   // decisions.
-  DecisionTree::Prefix Seed{{1, 2, 3, "t"}};
+  DecisionTree::Prefix Seed;
+  Seed.Path = {{1, 2, 3, "t"}};
   auto Leaves = enumerate(DecisionTree(std::move(Seed)), P);
   ASSERT_EQ(Leaves.size(), 4u);
   for (const auto &L : Leaves) {
@@ -170,12 +172,12 @@ TEST(DecisionTreeTest, SplitDonatesShallowestAlternativesAndKeepsPath) {
   auto Donated = T.split(8);
   // Shallowest open node is the root (alternatives 1 and 2 untried).
   ASSERT_EQ(Donated.size(), 2u);
-  EXPECT_EQ(Donated[0].back().Chosen, 1u);
-  EXPECT_EQ(Donated[1].back().Chosen, 2u);
+  EXPECT_EQ(Donated[0].Path.back().Chosen, 1u);
+  EXPECT_EQ(Donated[1].Path.back().Chosen, 2u);
   for (const auto &Pre : Donated) {
-    EXPECT_EQ(Pre.size(), 1u);
-    EXPECT_EQ(Pre.back().Limit, Pre.back().Chosen + 1);
-    EXPECT_EQ(Pre.back().Count, 3u);
+    EXPECT_EQ(Pre.Path.size(), 1u);
+    EXPECT_EQ(Pre.Path.back().Limit, Pre.Path.back().Chosen + 1);
+    EXPECT_EQ(Pre.Path.back().Count, 3u);
   }
   // The donor keeps its current path and no longer owns the donated
   // alternatives.
@@ -194,7 +196,7 @@ TEST(DecisionTreeTest, SplitRespectsDonationCap) {
   ASSERT_EQ(Donated.size(), 1u);
   // The highest alternative goes first so the donor's range stays
   // contiguous.
-  EXPECT_EQ(Donated[0].back().Chosen, 3u);
+  EXPECT_EQ(Donated[0].Path.back().Chosen, 3u);
   EXPECT_TRUE(T.splittable()); // alternative 2 still owned by the donor
 }
 
@@ -224,7 +226,121 @@ TEST(DecisionTreeTest, SplittingPartitionsUniformTreeLeafSet) {
   }
 }
 
+namespace {
+
+/// A write footprint for the prefix-annotation tests below.
+rmc::Footprint writeFp(rmc::Loc L) {
+  rmc::Footprint F;
+  F.L = L;
+  F.K = rmc::Footprint::Kind::Write;
+  return F;
+}
+
+/// Drives one donor execution of a two-level, arity-3, `sched`-tagged
+/// program against \p T while feeding \p Red the hooks exactly as the
+/// scheduler would: choice, then the chosen thread's step.
+void runSchedExecution(DecisionTree &T, Reduction &Red,
+                       const std::vector<unsigned> &En,
+                       const std::vector<rmc::Footprint> &Fps) {
+  T.beginExecution();
+  Red.beginExecution();
+  for (int Level = 0; Level != 2; ++Level) {
+    unsigned Pick = T.next(3, "sched");
+    ASSERT_FALSE(Red.onSchedChoice(En, Fps, Pick));
+    Red.onStepExecuted(En[Pick], Fps[Pick]);
+  }
+}
+
+} // namespace
+
+TEST(DecisionTreeTest, SplitPrefixCarriesSleepSnapshotAndReseeds) {
+  // Three threads writing the same cell: pairwise *dependent* moves, so
+  // sleeps put in place at a choice point survive the subsequent step and
+  // the snapshot is non-trivial.
+  std::vector<unsigned> En = {0, 1, 2};
+  std::vector<rmc::Footprint> Fps = {writeFp(7), writeFp(7), writeFp(7)};
+
+  DecisionTree T;
+  Reduction Red;
+  runSchedExecution(T, Red, En, Fps);
+  ASSERT_TRUE(T.advance()); // path {0,1}; root alternatives 1,2 open
+  auto Donated = T.split(8);
+  ASSERT_EQ(Donated.size(), 2u);
+  for (DecisionTree::Prefix &P : Donated)
+    Red.annotate(P);
+
+  // Donated prefix {1}: alternative 0 was fully explored before it, so it
+  // sleeps; prefix {2} additionally has alternative 1 asleep.
+  ASSERT_TRUE(Donated[0].HasSleep);
+  EXPECT_EQ(Donated[0].SleepOrdinal, 0u);
+  EXPECT_EQ(Donated[0].Sleep, (std::vector<SleepMove>{{0, Fps[0]}}));
+  ASSERT_TRUE(Donated[1].HasSleep);
+  EXPECT_EQ(Donated[1].SleepOrdinal, 0u);
+  EXPECT_EQ(Donated[1].Sleep,
+            (std::vector<SleepMove>{{0, Fps[0]}, {1, Fps[1]}}));
+
+  // Round-trip: a recipient re-seeds its tree from the donated prefix and
+  // recomputes the sleep state while replaying; the recomputation must
+  // agree with the carried snapshot (validated inside onSchedChoice) and
+  // leave the recipient with exactly the donor's sleep set.
+  for (size_t I = 0; I != Donated.size(); ++I) {
+    std::vector<SleepMove> Snapshot = Donated[I].Sleep;
+    size_t Ordinal = Donated[I].SleepOrdinal;
+    unsigned Chosen = Donated[I].Path.back().Chosen;
+
+    Reduction R2;
+    R2.setSeed(Snapshot, Ordinal);
+    DecisionTree T2(std::move(Donated[I]));
+    T2.beginExecution();
+    R2.beginExecution();
+    EXPECT_TRUE(T2.replaying());
+    unsigned Pick = T2.next(3, "sched");
+    EXPECT_EQ(Pick, Chosen);
+    // The replayed pick is never itself asleep, and the recomputed state
+    // matches the donor's snapshot bit for bit.
+    EXPECT_FALSE(R2.onSchedChoice(En, Fps, Pick));
+    EXPECT_EQ(R2.current(), Snapshot);
+  }
+}
+
+TEST(DecisionTreeTest, AnnotateSkipsPrefixesNotEndingInSchedDecisions) {
+  std::vector<unsigned> En = {0, 1, 2};
+  std::vector<rmc::Footprint> Fps = {writeFp(7), writeFp(7), writeFp(7)};
+
+  Reduction Red;
+  Red.beginExecution();
+  ASSERT_FALSE(Red.onSchedChoice(En, Fps, 2)); // sleeps {0, 1}
+
+  // A prefix ending in a read-from decision must not be annotated: pruning
+  // is only sound at thread-choice points.
+  DecisionTree::Prefix P;
+  P.Path = {{2, 3, 3, "sched"}, {1, 2, 2, "rf"}};
+  P.HasSleep = true; // Stale value; annotate() must clear it.
+  Red.annotate(P);
+  EXPECT_FALSE(P.HasSleep);
+  EXPECT_TRUE(P.Sleep.empty());
+
+  // An empty prefix (root donation) is likewise left unannotated.
+  DecisionTree::Prefix Root;
+  Root.HasSleep = true;
+  Red.annotate(Root);
+  EXPECT_FALSE(Root.HasSleep);
+}
+
 #if GTEST_HAS_DEATH_TEST
+TEST(DecisionTreeDeathTest, DivergentSleepSeedIsFatal) {
+  // A recipient whose recomputed sleep state disagrees with the donated
+  // snapshot must abort: silent divergence would make reduced exploration
+  // depend on the work distribution.
+  std::vector<unsigned> En = {0, 1, 2};
+  std::vector<rmc::Footprint> Fps = {writeFp(7), writeFp(7), writeFp(7)};
+  Reduction R;
+  R.setSeed({{1, Fps[1]}}, 0); // Donor claims only thread 1 sleeps...
+  R.beginExecution();
+  // ...but replaying pick 2 recomputes {0, 1}.
+  EXPECT_DEATH(R.onSchedChoice(En, Fps, 2), "diverged");
+}
+
 TEST(DecisionTreeDeathTest, ArityChangeDuringReplayIsFatal) {
   DecisionTree T;
   runOne(T, uniform({2, 2}));

@@ -1,0 +1,355 @@
+//===-- tests/ReductionTest.cpp - Sleep-set reduction equivalence ---------===//
+//
+// The sleep-set partial-order reduction (sim/Reduction.h, DESIGN.md §8)
+// must be a pure state-space optimization: it may skip executions, never
+// verdicts. The suite checks, at three layers:
+//
+//  * accounting — SleepPruned is zero under Reduction::None, positive on
+//    contended workloads under SleepSet, and the execution counters always
+//    reconcile (Executions == Completed + Deadlocks + Races + Diverged +
+//    Pruned + SleepPruned);
+//  * soundness — reduced exploration still reaches the weak-behavior
+//    violations of the MP litmus, and for every shrunk counterexample in
+//    tests/corpus/ the reduced and unreduced hunts report the identical
+//    violation verdict (rule + culprit library), while corpus decision
+//    traces keep replaying to a failing verdict (replay never prunes);
+//  * determinism — reduced summaries (coreEquals) and the reduced sweep
+//    fingerprint are bit-identical across 1/2/4 workers, extending the
+//    ParallelTest determinism suite to Reduction::SleepSet.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SimTestUtil.h"
+#include "check/Conformance.h"
+#include "check/Shrinker.h"
+#include "lib/MsQueue.h"
+#include "spec/Consistency.h"
+#include "spec/SpecMonitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+using namespace compass;
+using namespace compass::rmc;
+using namespace compass::sim;
+
+#ifndef COMPASS_CORPUS_DIR
+#error "COMPASS_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace {
+
+/// Counter identity every summary must satisfy: each execution ends in
+/// exactly one of these bins.
+void expectReconciled(const Explorer::Summary &S, const char *Name) {
+  EXPECT_EQ(S.Executions, S.Completed + S.Deadlocks + S.Races + S.Diverged +
+                              S.Pruned + S.SleepPruned)
+      << Name << ": " << S.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Workloads (reduction-aware Check: pruned runs are not violations)
+//===----------------------------------------------------------------------===//
+
+Task<void> mpWriter(Env &E, Loc X, Loc F, MemOrder StoreO) {
+  co_await E.store(X, 1, MemOrder::Relaxed);
+  co_await E.store(F, 1, StoreO);
+}
+
+Task<void> mpReader(Env &E, Loc X, Loc F, MemOrder LoadO, Value *Flag,
+                    Value *Data) {
+  *Flag = co_await E.load(F, LoadO);
+  *Data = co_await E.load(X, MemOrder::Relaxed);
+}
+
+/// Message-passing litmus; with relaxed orderings the "no stale data"
+/// check has violating executions the reduction must not lose.
+Workload mpWorkload(unsigned Workers, MemOrder StoreO, MemOrder LoadO,
+                    ReductionMode Red) {
+  Explorer::Options Opts;
+  Opts.Workers = Workers;
+  Opts.Reduction = Red;
+  return Workload(Opts, [StoreO, LoadO]() -> Workload::Body {
+    auto Flag = std::make_shared<Value>();
+    auto Data = std::make_shared<Value>();
+    return {
+        [=](Machine &M, Scheduler &S) {
+          *Flag = *Data = 0;
+          Loc X = M.alloc("x"), F = M.alloc("f");
+          Env &E0 = S.newThread();
+          S.start(E0, mpWriter(E0, X, F, StoreO));
+          Env &E1 = S.newThread();
+          S.start(E1, mpReader(E1, X, F, LoadO, Flag.get(), Data.get()));
+        },
+        [Flag, Data](Machine &, Scheduler &, Scheduler::RunResult R) {
+          if (R != Scheduler::RunResult::Done)
+            return true; // sleep-pruned / pruned runs are not violations
+          return !(*Flag == 1 && *Data == 0); // no stale data
+        }};
+  });
+}
+
+/// The E2 MS-queue configuration with a selectable reduction.
+Workload msQueueWorkload(unsigned Workers, ReductionMode Red) {
+  Explorer::Options Opts;
+  Opts.Workers = Workers;
+  Opts.PreemptionBound = 2;
+  Opts.MaxExecutions = 500'000;
+  Opts.Reduction = Red;
+  return Workload(Opts, []() -> Workload::Body {
+    struct State {
+      std::unique_ptr<spec::SpecMonitor> Mon;
+      std::unique_ptr<lib::MsQueue> Q;
+      std::vector<Value> Got0, Got1;
+    };
+    auto St = std::make_shared<State>();
+    return {
+        [St](Machine &M, Scheduler &S) {
+          St->Mon = std::make_unique<spec::SpecMonitor>();
+          St->Q = std::make_unique<lib::MsQueue>(M, *St->Mon, "q");
+          St->Got0.clear();
+          St->Got1.clear();
+          Env &E0 = S.newThread();
+          S.start(E0, test::enqueuerThread(E0, *St->Q, {1, 2}));
+          Env &E1 = S.newThread();
+          S.start(E1, test::dequeuerThread(E1, *St->Q, 1, &St->Got0));
+          Env &E2 = S.newThread();
+          S.start(E2, test::dequeuerThread(E2, *St->Q, 1, &St->Got1));
+        },
+        [St](Machine &, Scheduler &, Scheduler::RunResult R) {
+          if (R != Scheduler::RunResult::Done)
+            return R == Scheduler::RunResult::Pruned ||
+                   R == Scheduler::RunResult::SleepPruned;
+          return spec::checkQueueConsistent(St->Mon->graph(), St->Q->objId())
+              .ok();
+        }};
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus loading
+//===----------------------------------------------------------------------===//
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Ent :
+       std::filesystem::directory_iterator(COMPASS_CORPUS_DIR))
+    if (Ent.is_regular_file() && Ent.path().extension() == ".corpus")
+      Files.push_back(Ent.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+check::CorpusEntry parseFileOrFail(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  check::CorpusEntry E;
+  std::string Err;
+  EXPECT_TRUE(check::parseCorpusEntry(OS.str(), E, Err))
+      << P.filename() << ": " << Err;
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Accounting
+//===----------------------------------------------------------------------===//
+
+TEST(ReductionAccounting, NoSleepPrunesUnderReductionNone) {
+  for (auto Make : {+[](ReductionMode R) { return msQueueWorkload(1, R); },
+                    +[](ReductionMode R) {
+                      return mpWorkload(1, MemOrder::Relaxed,
+                                        MemOrder::Relaxed, R);
+                    }}) {
+    auto Sum = explore(Make(ReductionMode::None));
+    EXPECT_EQ(Sum.SleepPruned, 0u) << Sum.str();
+    expectReconciled(Sum, "unreduced");
+  }
+}
+
+TEST(ReductionAccounting, SleepSetPrunesAndReconciles) {
+  auto Un = explore(msQueueWorkload(1, ReductionMode::None));
+  auto Red = explore(msQueueWorkload(1, ReductionMode::SleepSet));
+  expectReconciled(Un, "unreduced");
+  expectReconciled(Red, "reduced");
+  EXPECT_GT(Red.SleepPruned, 0u) << Red.str();
+  // Pruned stubs are cheap (they stop at the first sleeping step), so the
+  // reduced run performs strictly fewer executions overall *and* strictly
+  // fewer full (completed) ones.
+  EXPECT_LT(Red.Executions, Un.Executions);
+  EXPECT_LT(Red.Completed, Un.Completed);
+  EXPECT_TRUE(Red.Exhausted);
+  EXPECT_TRUE(Un.Exhausted);
+  // Both runs agree there is nothing to report.
+  EXPECT_EQ(Red.Violations, 0u) << Red.str();
+  EXPECT_EQ(Un.Violations, 0u) << Un.str();
+}
+
+TEST(ReductionAccounting, RandomModeIgnoresReductionRequest) {
+  Explorer::Options Opts;
+  Opts.ExploreMode = Explorer::Mode::Random;
+  Opts.RandomRuns = 50;
+  Opts.Reduction = ReductionMode::SleepSet;
+  Workload W(Opts, [](Machine &M, Scheduler &S) {
+    Loc X = M.alloc("x");
+    Env &E0 = S.newThread();
+    S.start(E0, mpWriter(E0, X, X, MemOrder::Relaxed));
+  });
+  auto Sum = explore(W);
+  EXPECT_EQ(Sum.SleepPruned, 0u);
+  EXPECT_EQ(Sum.Executions, 50u);
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness
+//===----------------------------------------------------------------------===//
+
+TEST(ReductionSoundness, WeakMpViolationsSurviveReduction) {
+  auto Un = explore(mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed,
+                               ReductionMode::None));
+  auto Red = explore(mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed,
+                                ReductionMode::SleepSet));
+  ASSERT_TRUE(Un.HasViolation);
+  ASSERT_TRUE(Red.HasViolation)
+      << "reduction pruned every stale-data execution: " << Red.str();
+  EXPECT_GT(Red.Violations, 0u);
+
+  // The surfaced reduced trace replays (unreduced, as replay always is) to
+  // the same failing check.
+  Workload W = mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed,
+                          ReductionMode::None);
+  ReplayResult RR = replay(W, Red.firstViolationDecisions());
+  EXPECT_EQ(RR.Run, Scheduler::RunResult::Done);
+  EXPECT_FALSE(RR.CheckOk) << "reduced counterexample must reproduce";
+  EXPECT_FALSE(RR.Diverged);
+}
+
+TEST(ReductionSoundness, CleanMpStaysCleanUnderReduction) {
+  auto Red = explore(mpWorkload(1, MemOrder::Release, MemOrder::Acquire,
+                                ReductionMode::SleepSet));
+  EXPECT_EQ(Red.Violations, 0u) << Red.str();
+  EXPECT_TRUE(Red.Exhausted);
+}
+
+TEST(ReductionSoundness, CorpusMutantsReportIdenticalVerdicts) {
+  // For every shrunk counterexample in tests/corpus/: hunting its scenario
+  // reduced and unreduced must find a violation either way, and replaying
+  // the respective first failing traces must produce the identical verdict
+  // rule for the identical culprit library.
+  auto Files = corpusFiles();
+  ASSERT_FALSE(Files.empty());
+  for (const auto &P : Files) {
+    check::CorpusEntry E = parseFileOrFail(P);
+
+    auto ruleFor = [&](ReductionMode Red, std::string &Out) {
+      std::vector<unsigned> Trace;
+      if (!check::scenarioFails(E.S, E.Mut, 200'000, Trace, Red))
+        return false;
+      // Replay (never reduced) for the structured verdict of the found
+      // counterexample.
+      check::TraceDiagnosis D = check::diagnoseTrace(
+          E.S, E.Mut, check::scenarioOptions(E.S, 1, 1), Trace);
+      EXPECT_TRUE(D.failing()) << P.filename();
+      Out = D.V.Rule;
+      return true;
+    };
+
+    std::string UnRule, RedRule;
+    ASSERT_TRUE(ruleFor(ReductionMode::None, UnRule))
+        << P.filename() << ": unreduced hunt lost the violation";
+    ASSERT_TRUE(ruleFor(ReductionMode::SleepSet, RedRule))
+        << P.filename() << ": reduced hunt lost the violation "
+        << "(library " << check::libName(E.S.L) << ")";
+    EXPECT_EQ(UnRule, RedRule)
+        << P.filename() << ": verdict rule diverged under reduction for "
+        << check::libName(E.S.L);
+  }
+}
+
+TEST(ReductionSoundness, CorpusTracesReplayUnderReductionDefaults) {
+  // diagnoseTrace goes through sim::replay, which never prunes — corpus
+  // decision traces stay valid replays no matter the configured mode.
+  for (const auto &P : corpusFiles()) {
+    check::CorpusEntry E = parseFileOrFail(P);
+    check::TraceDiagnosis D = check::diagnoseTrace(
+        E.S, E.Mut,
+        check::scenarioOptions(E.S, 1, 1, ReductionMode::SleepSet),
+        E.Decisions);
+    EXPECT_TRUE(D.failing())
+        << P.filename() << ": corpus trace no longer fails; " << D.V.str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism across worker counts (ParallelTest extension)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectReducedDeterministic(Workload (*Make)(unsigned),
+                                const char *Name) {
+  auto S1 = explore(Make(1));
+  auto S2 = explore(Make(2));
+  auto S4 = explore(Make(4));
+  expectReconciled(S1, Name);
+  EXPECT_EQ(S1.SleepPruned, S2.SleepPruned) << Name;
+  EXPECT_EQ(S1.SleepPruned, S4.SleepPruned) << Name;
+  EXPECT_TRUE(S1.coreEquals(S2))
+      << Name << "\nserial:   " << S1.str() << "\n2-worker: " << S2.str();
+  EXPECT_TRUE(S1.coreEquals(S4))
+      << Name << "\nserial:   " << S1.str() << "\n4-worker: " << S4.str();
+}
+
+} // namespace
+
+TEST(ReductionDeterminism, ReducedMsQueueAcrossWorkers) {
+  expectReducedDeterministic(
+      +[](unsigned W) { return msQueueWorkload(W, ReductionMode::SleepSet); },
+      "MS queue reduced");
+}
+
+TEST(ReductionDeterminism, ReducedMpLitmusAcrossWorkers) {
+  expectReducedDeterministic(
+      +[](unsigned W) {
+        return mpWorkload(W, MemOrder::Relaxed, MemOrder::Relaxed,
+                          ReductionMode::SleepSet);
+      },
+      "MP rlx reduced");
+}
+
+TEST(ReductionDeterminism, ReducedSweepFingerprintAcrossWorkers) {
+  auto Run = [](unsigned Workers, ReductionMode Red) {
+    check::SweepOptions O;
+    O.Seed = 5;
+    O.ScenariosPerLib = 2;
+    O.Workers = Workers;
+    O.MaxExecutionsPerScenario = 60000;
+    O.Reduction = Red;
+    O.Libs = {check::Lib::MsQueue, check::Lib::TreiberStack,
+              check::Lib::SpscRing, check::Lib::WsDeque};
+    return check::runSweep(O);
+  };
+  check::SweepReport R1 = Run(1, ReductionMode::SleepSet);
+  check::SweepReport R2 = Run(2, ReductionMode::SleepSet);
+  check::SweepReport R4 = Run(4, ReductionMode::SleepSet);
+  EXPECT_TRUE(R1.clean()) << R1.str();
+  EXPECT_EQ(R1.fingerprint(), R2.fingerprint())
+      << "serial:\n" << R1.str() << "2 workers:\n" << R2.str();
+  EXPECT_EQ(R1.fingerprint(), R4.fingerprint())
+      << "serial:\n" << R1.str() << "4 workers:\n" << R4.str();
+
+  // The reduced sweep does strictly less work than the unreduced one on
+  // the same scenarios, and the two modes' fingerprints intentionally
+  // differ (they fold different execution counts).
+  check::SweepReport Un = Run(1, ReductionMode::None);
+  EXPECT_TRUE(Un.clean()) << Un.str();
+  EXPECT_LT(R1.totalExecutions(), Un.totalExecutions());
+  EXPECT_NE(R1.fingerprint(), Un.fingerprint());
+}
