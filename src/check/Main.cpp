@@ -10,25 +10,43 @@
 ///   compass_check sweep   [--seed N] [--per-lib N] [--workers N]
 ///                         [--max-execs N] [--lib NAME]...
 ///                         [--reduction none|sleep] [--json]
+///                         [--checkpoint FILE] [--checkpoint-every N|Ns]
+///                         [--time-budget SECS] [--telemetry FILE]
+///                         [--resume FILE]
 ///   compass_check mutants [--seed N] [--max-scenarios N] [--max-execs N]
 ///                         [--mut NAME]... [--no-shrink] [--emit-corpus DIR]
 ///                         [--reduction none|sleep]
 ///   compass_check replay  FILE...
 ///
 /// `sweep` explores generated scenarios against the pristine libraries and
-/// exits nonzero on any violation. `mutants` must kill every seeded mutant
-/// (exit nonzero on a survivor) and can persist the shrunk counterexamples
-/// as corpus files. `replay` re-executes corpus entries and exits nonzero
-/// when one no longer reproduces its violation.
+/// exits nonzero on any violation. It is crash-resilient: SIGINT/SIGTERM, a
+/// spent `--time-budget`, or a `--checkpoint-every` cadence serialize the
+/// live exploration state to the `--checkpoint` file (default
+/// compass_sweep.ckpt); `--resume FILE` finishes an interrupted run to the
+/// bit-identical fingerprint at any `--workers` count. `--telemetry FILE`
+/// appends structured JSONL progress records (scripts/telemetry_report.py
+/// renders them). `mutants` must kill every seeded mutant (exit nonzero on
+/// a survivor) and can persist the shrunk counterexamples as corpus files.
+/// `replay` re-executes corpus entries and exits nonzero when one no
+/// longer reproduces its violation.
+///
+/// Exit codes: 0 success, 1 violations/survivors, 2 usage error,
+/// 3 interrupted (sweep checkpoint written).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "check/Checkpoint.h"
 #include "check/Conformance.h"
+#include "check/Telemetry.h"
 
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,19 +64,64 @@ namespace {
                "  compass_check sweep   [--seed N] [--per-lib N] "
                "[--workers N] [--max-execs N] [--lib NAME]... "
                "[--reduction none|sleep] [--json]\n"
+               "                        [--checkpoint FILE] "
+               "[--checkpoint-every N|Ns] [--time-budget SECS] "
+               "[--telemetry FILE] [--resume FILE]\n"
                "  compass_check mutants [--seed N] [--max-scenarios N] "
                "[--max-execs N] [--mut NAME]... [--no-shrink] "
                "[--emit-corpus DIR] [--reduction none|sleep]\n"
-               "  compass_check replay  FILE...\n");
+               "  compass_check replay  FILE...\n"
+               "numeric flags take unsigned decimal values; --workers "
+               "must be >= 1; --checkpoint-every takes executions (N) or "
+               "seconds (Ns); --time-budget takes seconds (may be "
+               "fractional)\n");
   std::exit(2);
 }
 
+/// Strict unsigned decimal parse: rejects empty values, signs, whitespace,
+/// non-digit trailers, and values that overflow uint64_t. Malformed input
+/// is a usage error (exit 2) — a silently wrapped "--max-execs -1" must
+/// never truncate a verification run.
 uint64_t parseU64(const char *Flag, const char *V) {
+  if (!V[0])
+    usage((std::string("empty value for ") + Flag).c_str());
+  for (const char *P = V; *P; ++P)
+    if (*P < '0' || *P > '9')
+      usage((std::string("bad value for ") + Flag + ": '" + V +
+             "' (unsigned decimal required)")
+                .c_str());
+  errno = 0;
   char *End = nullptr;
   uint64_t N = std::strtoull(V, &End, 10);
-  if (!V[0] || (End && *End))
-    usage((std::string("bad value for ") + Flag).c_str());
+  if (errno == ERANGE || (End && *End))
+    usage((std::string("value for ") + Flag + " out of range: '" + V + "'")
+              .c_str());
   return N;
+}
+
+/// parseU64 constrained to fit \p Max (for unsigned-typed options).
+uint64_t parseBounded(const char *Flag, const char *V, uint64_t Max) {
+  uint64_t N = parseU64(Flag, V);
+  if (N > Max)
+    usage((std::string("value for ") + Flag + " out of range: '" + V + "'")
+              .c_str());
+  return N;
+}
+
+/// Strict nonnegative seconds parse (fractions allowed).
+double parseSeconds(const char *Flag, const char *V) {
+  if (!V[0])
+    usage((std::string("empty value for ") + Flag).c_str());
+  for (const char *P = V; *P; ++P)
+    if ((*P < '0' || *P > '9') && *P != '.')
+      usage((std::string("bad value for ") + Flag + ": '" + V + "'")
+                .c_str());
+  errno = 0;
+  char *End = nullptr;
+  double S = std::strtod(V, &End);
+  if (errno == ERANGE || (End && *End) || !(S >= 0))
+    usage((std::string("bad value for ") + Flag + ": '" + V + "'").c_str());
+  return S;
 }
 
 /// Pops the value of flag \p Name from argv position \p I.
@@ -77,20 +140,31 @@ sim::ReductionMode parseReduction(const char *V) {
   usage((std::string("bad value for --reduction (none|sleep): ") + V).c_str());
 }
 
+/// Cooperative stop flag set by SIGINT/SIGTERM (sweep only).
+std::atomic<bool> GStopRequested{false};
+
+void handleStopSignal(int) { GStopRequested.store(true); }
+
 int cmdSweep(int Argc, char **Argv) {
   SweepOptions O;
   bool Json = false;
+  std::string CkptPath = "compass_sweep.ckpt";
+  std::string ResumePath, TelemPath;
+  uint64_t CkptEveryExecs = 0;
+  double CkptEverySec = 0, TimeBudget = 0;
   for (int I = 0; I != Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--seed")
       O.Seed = parseU64("--seed", flagValue(Argc, Argv, I, "--seed"));
     else if (A == "--per-lib")
-      O.ScenariosPerLib = static_cast<unsigned>(
-          parseU64("--per-lib", flagValue(Argc, Argv, I, "--per-lib")));
-    else if (A == "--workers")
-      O.Workers = static_cast<unsigned>(
-          parseU64("--workers", flagValue(Argc, Argv, I, "--workers")));
-    else if (A == "--max-execs")
+      O.ScenariosPerLib = static_cast<unsigned>(parseBounded(
+          "--per-lib", flagValue(Argc, Argv, I, "--per-lib"), ~0u));
+    else if (A == "--workers") {
+      O.Workers = static_cast<unsigned>(parseBounded(
+          "--workers", flagValue(Argc, Argv, I, "--workers"), ~0u));
+      if (O.Workers == 0)
+        usage("--workers must be >= 1");
+    } else if (A == "--max-execs")
       O.MaxExecutionsPerScenario =
           parseU64("--max-execs", flagValue(Argc, Argv, I, "--max-execs"));
     else if (A == "--lib") {
@@ -104,12 +178,161 @@ int cmdSweep(int Argc, char **Argv) {
           parseReduction(flagValue(Argc, Argv, I, "--reduction"));
     else if (A == "--json")
       Json = true;
+    else if (A == "--checkpoint")
+      CkptPath = flagValue(Argc, Argv, I, "--checkpoint");
+    else if (A == "--checkpoint-every") {
+      std::string V = flagValue(Argc, Argv, I, "--checkpoint-every");
+      if (!V.empty() && V.back() == 's')
+        CkptEverySec = parseSeconds("--checkpoint-every",
+                                    V.substr(0, V.size() - 1).c_str());
+      else
+        CkptEveryExecs = parseU64("--checkpoint-every", V.c_str());
+      if (CkptEveryExecs == 0 && CkptEverySec <= 0)
+        usage("--checkpoint-every must be positive");
+    } else if (A == "--time-budget") {
+      TimeBudget = parseSeconds("--time-budget",
+                                flagValue(Argc, Argv, I, "--time-budget"));
+      if (TimeBudget <= 0)
+        usage("--time-budget must be positive");
+    } else if (A == "--telemetry")
+      TelemPath = flagValue(Argc, Argv, I, "--telemetry");
+    else if (A == "--resume")
+      ResumePath = flagValue(Argc, Argv, I, "--resume");
     else
       usage((std::string("unknown sweep flag ") + A).c_str());
   }
-  SweepReport Rep = runSweep(O);
-  std::printf("%s", Json ? (Rep.json() + "\n").c_str() : Rep.str().c_str());
-  return Rep.clean() ? 0 : 1;
+
+  SweepCheckpoint Resume;
+  bool HasResume = false;
+  if (!ResumePath.empty()) {
+    std::ifstream In(ResumePath);
+    if (!In) {
+      std::fprintf(stderr, "compass_check: cannot read %s\n",
+                   ResumePath.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Err;
+    if (!parseSweepCheckpoint(Buf.str(), Resume, Err)) {
+      std::fprintf(stderr, "compass_check: %s: %s\n", ResumePath.c_str(),
+                   Err.c_str());
+      return 2;
+    }
+    HasResume = true;
+  }
+
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+
+  std::unique_ptr<Telemetry> Telem;
+  if (!TelemPath.empty()) {
+    Telem = std::make_unique<Telemetry>(TelemPath);
+    if (!Telem->ok()) {
+      std::fprintf(stderr, "compass_check: cannot write %s\n",
+                   TelemPath.c_str());
+      return 2;
+    }
+  }
+
+  auto WriteCkpt = [&CkptPath](const SweepCheckpoint &K) -> bool {
+    // Write-then-rename so a kill mid-write never corrupts a previous
+    // checkpoint.
+    std::string Tmp = CkptPath + ".tmp";
+    {
+      std::ofstream Out(Tmp, std::ios::trunc);
+      if (!Out) {
+        std::fprintf(stderr, "compass_check: cannot write %s\n",
+                     Tmp.c_str());
+        return false;
+      }
+      Out << serializeSweepCheckpoint(K);
+      if (!Out) {
+        std::fprintf(stderr, "compass_check: short write to %s\n",
+                     Tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(Tmp.c_str(), CkptPath.c_str()) != 0) {
+      std::fprintf(stderr, "compass_check: cannot rename %s -> %s\n",
+                   Tmp.c_str(), CkptPath.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  SweepControl C;
+  C.StopRequested = &GStopRequested;
+  C.TimeBudgetSec = TimeBudget;
+  C.CheckpointEveryExecs = CkptEveryExecs;
+  C.CheckpointEverySec = CkptEverySec;
+  C.Telem = Telem.get();
+  if (CkptEveryExecs > 0 || CkptEverySec > 0)
+    C.OnCheckpoint = [&](const SweepCheckpoint &K) {
+      if (WriteCkpt(K)) {
+        std::fprintf(stderr, "compass_check: checkpoint written to %s\n",
+                     CkptPath.c_str());
+        if (Telem) {
+          uint64_t Execs = 0;
+          for (const LibSweepStats &St : K.DoneLibs)
+            Execs += St.Executions;
+          Execs += K.CurLib.Executions;
+          if (K.HasScenario)
+            Execs += K.Scenario.Partial.Executions;
+          Telem->checkpoint(CkptPath, "cadence", Execs);
+        }
+      }
+    };
+
+  if (Telem) {
+    SweepOptions Eff = O; // effective config for the record
+    std::vector<Lib> Libs = HasResume ? Resume.Libs : O.Libs;
+    if (Libs.empty())
+      Libs.assign(allLibs(), allLibs() + NumLibs);
+    uint64_t Base = 0;
+    if (HasResume) {
+      Eff.Seed = Resume.Seed;
+      Eff.ScenariosPerLib = Resume.ScenariosPerLib;
+      Eff.MaxExecutionsPerScenario = Resume.MaxExecutionsPerScenario;
+      Eff.Reduction = Resume.Reduction;
+      for (const LibSweepStats &St : Resume.DoneLibs)
+        Base += St.Executions;
+      Base += Resume.CurLib.Executions;
+      if (Resume.HasScenario)
+        Base += Resume.Scenario.Partial.Executions;
+    }
+    Telem->runStart(Eff, Libs, HasResume, Base);
+  }
+
+  SweepResult R = runSweepResumable(O, C, HasResume ? &Resume : nullptr);
+
+  if (R.Interrupted) {
+    const char *Reason = GStopRequested.load() ? "signal" : "time_budget";
+    if (!WriteCkpt(R.Ckpt))
+      return 2;
+    uint64_t Execs = 0;
+    for (const LibSweepStats &St : R.Ckpt.DoneLibs)
+      Execs += St.Executions;
+    Execs += R.Ckpt.CurLib.Executions;
+    if (R.Ckpt.HasScenario)
+      Execs += R.Ckpt.Scenario.Partial.Executions;
+    std::fprintf(stderr,
+                 "compass_check: sweep interrupted (%s) after %llu "
+                 "executions; resume with --resume %s\n",
+                 Reason, static_cast<unsigned long long>(Execs),
+                 CkptPath.c_str());
+    if (Telem) {
+      Telem->checkpoint(CkptPath, Reason, Execs);
+      Telem->runEnd(R.Rep, /*Interrupted=*/true);
+    }
+    return 3;
+  }
+
+  if (Telem)
+    Telem->runEnd(R.Rep, /*Interrupted=*/false);
+  std::printf("%s",
+              Json ? (R.Rep.json() + "\n").c_str() : R.Rep.str().c_str());
+  return R.Rep.clean() ? 0 : 1;
 }
 
 int cmdMutants(int Argc, char **Argv) {
@@ -120,8 +343,9 @@ int cmdMutants(int Argc, char **Argv) {
     if (A == "--seed")
       O.Seed = parseU64("--seed", flagValue(Argc, Argv, I, "--seed"));
     else if (A == "--max-scenarios")
-      O.MaxScenarios = static_cast<unsigned>(parseU64(
-          "--max-scenarios", flagValue(Argc, Argv, I, "--max-scenarios")));
+      O.MaxScenarios = static_cast<unsigned>(parseBounded(
+          "--max-scenarios", flagValue(Argc, Argv, I, "--max-scenarios"),
+          ~0u));
     else if (A == "--max-execs")
       O.MaxExecutionsPerScenario =
           parseU64("--max-execs", flagValue(Argc, Argv, I, "--max-execs"));

@@ -75,6 +75,39 @@ bool DecisionTree::splittable() const {
   return false;
 }
 
+std::vector<DecisionTree::Prefix> DecisionTree::frontierPrefixes() const {
+  std::vector<Prefix> Out;
+  if (Exhausted)
+    return Out;
+  // Valid between executions (Pos == Trace.size()) and on a fresh tree
+  // that has not begun its first execution yet (Pos == 0, Trace == seed).
+  assert((Pos == Trace.size() || Pos == 0) && "frontier snapshot mid-replay");
+  auto PinnedPrefix = [this](size_t Len) {
+    Prefix P;
+    P.Path.assign(Trace.begin(), Trace.begin() + Len);
+    for (Decision &Pd : P.Path)
+      Pd.Limit = Pd.Chosen + 1;
+    return P;
+  };
+  // One pinned prefix per untried alternative hanging off the current
+  // path (shallowest first — the largest subtrees, mirroring split()).
+  for (size_t I = SeedLen, E = Trace.size(); I != E; ++I) {
+    const Decision &D = Trace[I];
+    for (unsigned A = D.Chosen + 1; A < D.Limit; ++A) {
+      Prefix P = PinnedPrefix(I + 1);
+      P.Path.back().Chosen = A;
+      P.Path.back().Limit = A + 1;
+      Out.push_back(std::move(P));
+    }
+  }
+  // The current path itself: between executions it is the next pending
+  // decision sequence, and pinning every decision yields exactly the
+  // subtree below it. (For a fresh tree this is the bare seed — i.e. the
+  // whole subtree the tree was charged with.)
+  Out.push_back(PinnedPrefix(Trace.size()));
+  return Out;
+}
+
 std::vector<DecisionTree::Prefix> DecisionTree::split(size_t MaxDonations) {
   std::vector<Prefix> Out;
   if (Exhausted || MaxDonations == 0)

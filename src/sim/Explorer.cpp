@@ -212,6 +212,28 @@ std::vector<DecisionTree::Prefix> Explorer::split(size_t MaxDonations) {
   return Out;
 }
 
+std::vector<DecisionTree::Prefix> Explorer::drainFrontier() {
+  assert(!InExecution && "drainFrontier mid-execution");
+  assert(Opts.ExploreMode == Mode::Exhaustive &&
+         "only exhaustive exploration has a frontier to drain");
+  std::vector<DecisionTree::Prefix> Out;
+  if (HasWork && !Tree.exhausted()) {
+    Out = Tree.frontierPrefixes();
+    // Like split(): carry the sleep state so recipients can cross-check
+    // their recomputation (annotation is validation only — the state is a
+    // pure function of the path).
+    if (RedEnabled)
+      for (DecisionTree::Prefix &P : Out)
+        Red.annotate(P);
+  }
+  // The executed share of this subtree is complete; its unexplored
+  // remainder now lives in Out and carries its own exhaustion accounting.
+  HasWork = false;
+  Sum.Exhausted = true;
+  finalizePerf();
+  return Out;
+}
+
 std::string
 Explorer::formatTrace(const std::vector<DecisionTree::Decision> &Trace) {
   std::string Out;

@@ -136,6 +136,7 @@ public:
       double ExecsPerSec = 0;
       uint64_t PeakFrontier = 0; ///< Largest DFS frontier seen (per worker).
       uint64_t PeakQueue = 0;    ///< Largest shared work queue (parallel).
+      uint64_t Donations = 0;    ///< Prefixes donated between workers.
       unsigned Workers = 1;
     } Perf;
 
@@ -211,6 +212,27 @@ public:
   /// sleep-set reduction is active, each donated prefix is annotated with
   /// the donor's sleep state so the recipient can cross-check its own.
   std::vector<DecisionTree::Prefix> split(size_t MaxDonations);
+
+  // -- Checkpointing (sim/Checkpoint.h) -------------------------------
+
+  /// Hands the *entire* unexplored remainder of this explorer's subtree
+  /// back as pinned prefixes (DecisionTree::frontierPrefixes, sleep-
+  /// annotated like split()'s donations) and marks the explorer finished:
+  /// hasWork() turns false and the summary's Exhausted bit is set, because
+  /// the executed share is complete — the donated remainder carries its
+  /// own exhaustion bit once explored. Exploring the returned prefixes
+  /// (in any partition, at any worker count) and merging the cores into
+  /// this explorer's summary core reproduces the bit-identical summary of
+  /// an uninterrupted run. Must be called between executions; exhaustive
+  /// mode only.
+  std::vector<DecisionTree::Prefix> drainFrontier();
+
+  /// Untried alternatives hanging off the current path (the live DFS
+  /// frontier size; exhaustive mode).
+  uint64_t frontierSize() const { return Tree.frontierSize(); }
+
+  /// Depth of the current decision path.
+  uint64_t currentDepth() const { return Tree.depth(); }
 
   /// The sleep-set reduction driving this explorer, or nullptr when
   /// reduction is off. Hand it to Scheduler::setReduction().

@@ -2,12 +2,14 @@
 
 #include "sim/ParallelExplorer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,6 +19,35 @@ using namespace compass::sim;
 
 namespace {
 
+/// True iff the decision path \p Path is lexicographically below the full
+/// sequence \p Best (proper prefixes count as below). A prefix that is NOT
+/// below Best cannot contain a violating sequence smaller than Best: every
+/// extension of it is lex >= Best.
+bool pathLexBelow(const std::vector<DecisionTree::Decision> &Path,
+                  const std::vector<unsigned> &Best) {
+  size_t N = std::min(Path.size(), Best.size());
+  for (size_t I = 0; I != N; ++I)
+    if (Path[I].Chosen != Best[I])
+      return Path[I].Chosen < Best[I];
+  return Path.size() < Best.size();
+}
+
+bool seqLexLess(const std::vector<unsigned> &A,
+                const std::vector<unsigned> &B) {
+  return std::lexicographical_compare(A.begin(), A.end(), B.begin(),
+                                      B.end());
+}
+
+/// Per-worker observability counters, sampled by the coordinator for
+/// heartbeats. Cache-line padded; all accesses relaxed — these are
+/// telemetry, not synchronization.
+struct alignas(64) WorkerStats {
+  std::atomic<uint64_t> Execs{0};
+  std::atomic<uint64_t> Donated{0};
+  std::atomic<uint64_t> Frontier{0};
+  std::atomic<uint64_t> Depth{0};
+};
+
 /// State shared by all workers of one parallel exploration.
 struct SharedState {
   std::mutex Mu;
@@ -25,23 +56,66 @@ struct SharedState {
   unsigned Busy = 0;                      // workers holding a subtree
   bool Done = false;                      // no more work will appear
   uint64_t PeakQueue = 0;
+  uint64_t Donations = 0; // guarded by Mu
 
   /// Global execution budget (Options::MaxExecutions), claimed one ticket
   /// per execution so the parallel run performs exactly as many executions
-  /// as the serial one would.
+  /// as the serial one would. Seeded with the resumed snapshot's executed
+  /// base so the budget (and InterruptAtExecs) stay global across
+  /// segments.
   std::atomic<uint64_t> Tickets{0};
-  /// Abort flag (StopOnViolation).
-  std::atomic<bool> Stop{false};
+
+  /// Cooperative interrupt: workers finish their in-flight execution,
+  /// drain their tree's unexplored remainder into Drained, and exit.
+  std::atomic<bool> Interrupt{false};
+
   /// Number of workers currently starved; a positive value asks busy
   /// workers to donate subtrees.
   std::atomic<unsigned> Hungry{0};
 
-  bool pop(DecisionTree::Prefix &Out) {
+  // -- StopOnViolation: shared lex-min violation -----------------------
+  /// Cheap pre-check before taking BestMu; set once any violation exists.
+  std::atomic<bool> HaveViolation{false};
+  std::mutex BestMu;
+  std::vector<unsigned> Best; // lex-min violating sequence so far
+
+  // -- Checkpoint drain -------------------------------------------------
+  std::mutex DrainMu;
+  std::vector<DecisionTree::Prefix> Drained;
+
+  /// Lowers the shared best violation to \p Seq if it is lex-smaller.
+  void offerViolation(std::vector<unsigned> Seq) {
+    std::lock_guard<std::mutex> L(BestMu);
+    if (!HaveViolation.load(std::memory_order_relaxed) ||
+        seqLexLess(Seq, Best))
+      Best = std::move(Seq);
+    HaveViolation.store(true, std::memory_order_relaxed);
+  }
+
+  /// True while work whose decision path starts with \p Path could still
+  /// contain a violation lex-smaller than the current best (or no
+  /// violation exists yet). Callers pre-check HaveViolation.
+  bool mayImprove(const std::vector<DecisionTree::Decision> &Path) {
+    std::lock_guard<std::mutex> L(BestMu);
+    return pathLexBelow(Path, Best);
+  }
+
+  void addDrained(std::vector<DecisionTree::Prefix> Prefixes) {
+    if (Prefixes.empty())
+      return;
+    std::lock_guard<std::mutex> L(DrainMu);
+    for (DecisionTree::Prefix &P : Prefixes)
+      Drained.push_back(std::move(P));
+  }
+
+  bool pop(DecisionTree::Prefix &Out, bool StopOnViolation) {
     std::unique_lock<std::mutex> L(Mu);
     for (;;) {
       if (Done)
         return false;
-      if (Stop.load(std::memory_order_relaxed)) {
+      if (Interrupt.load(std::memory_order_relaxed)) {
+        // Leave the queued prefixes in place: the coordinator collects
+        // them into the snapshot frontier after the workers exit.
         Done = true;
         Cv.notify_all();
         return false;
@@ -49,6 +123,12 @@ struct SharedState {
       if (!Queue.empty()) {
         Out = std::move(Queue.front());
         Queue.pop_front();
+        // Lex-min StopOnViolation: discard prefixes that cannot contain a
+        // violation below the current best (lock order Mu -> BestMu).
+        if (StopOnViolation &&
+            HaveViolation.load(std::memory_order_relaxed) &&
+            !mayImprove(Out.Path))
+          continue;
         ++Busy;
         return true;
       }
@@ -68,6 +148,7 @@ struct SharedState {
     if (Prefixes.empty())
       return;
     std::lock_guard<std::mutex> L(Mu);
+    Donations += Prefixes.size();
     for (DecisionTree::Prefix &P : Prefixes)
       Queue.push_back(std::move(P));
     PeakQueue = std::max<uint64_t>(PeakQueue, Queue.size());
@@ -83,23 +164,39 @@ struct SharedState {
 
 } // namespace
 
-Explorer::Summary ParallelExplorer::run() {
+ExploreResult compass::sim::exploreResumable(const Workload &W,
+                                             const ExploreControl &Ctl,
+                                             const ExplorationSnapshot *Resume) {
   const Explorer::Options &Opts = W.options();
-  if (Opts.ExploreMode == Explorer::Mode::Random)
-    return exploreSerial(W); // Sampling has no tree to partition.
+  if (Opts.ExploreMode == Explorer::Mode::Random) {
+    // Sampling has no tree to partition or checkpoint.
+    ExploreResult R;
+    R.Sum = exploreSerial(W);
+    return R;
+  }
 
   unsigned N = std::max(1u, Opts.Workers);
   auto Start = std::chrono::steady_clock::now();
 
   SharedState Sh;
-  Sh.Queue.push_back(DecisionTree::Prefix{}); // the root subtree
-  Sh.PeakQueue = 1;
+  if (Resume && !Resume->Frontier.empty()) {
+    for (const DecisionTree::Prefix &P : Resume->Frontier)
+      Sh.Queue.push_back(P);
+    Sh.Tickets.store(Resume->Partial.Executions,
+                     std::memory_order_relaxed);
+  } else {
+    Sh.Queue.push_back(DecisionTree::Prefix{}); // the root subtree
+  }
+  Sh.PeakQueue = Sh.Queue.size();
+  if (Resume && Resume->Partial.HasViolation)
+    Sh.offerViolation(Resume->Partial.firstViolationDecisions());
 
   // Per-worker partial summaries, merged in worker order at the end (all
   // core fields merge commutatively, so the order is immaterial — it just
   // keeps the aggregation obviously deterministic).
   std::vector<Explorer::Summary> Partials(N);
   std::vector<uint64_t> PeakFrontiers(N, 0);
+  std::vector<WorkerStats> Stats(N);
 
   auto WorkerMain = [&](unsigned Wid) {
     Workload::Body Body = W.makeBody();
@@ -109,9 +206,10 @@ Explorer::Summary ParallelExplorer::run() {
 
     Explorer::Summary &Local = Partials[Wid];
     Local.Exhausted = true; // AND-folded over the worker's subtrees
+    WorkerStats &St = Stats[Wid];
 
     DecisionTree::Prefix Prefix;
-    while (Sh.pop(Prefix)) {
+    while (Sh.pop(Prefix, Opts.StopOnViolation)) {
       Explorer Ex(WOpts, std::move(Prefix));
       // One machine/scheduler pair per subtree, reset between executions
       // (the arena pattern; see rmc::Machine::reset).
@@ -120,8 +218,27 @@ Explorer::Summary ParallelExplorer::run() {
       S.setPreemptionBound(Opts.PreemptionBound);
       S.setReduction(Ex.reduction());
       for (;;) {
-        if (Sh.Stop.load(std::memory_order_relaxed))
+        // The execution-count tripwire is checked worker-side (not only in
+        // the coordinator's 50ms poll) so it lands precisely even on trees
+        // that finish faster than a poll interval.
+        if (Ctl.InterruptAtExecs > 0 &&
+            !Sh.Interrupt.load(std::memory_order_relaxed) &&
+            Sh.Tickets.load(std::memory_order_relaxed) >=
+                Ctl.InterruptAtExecs) {
+          Sh.Interrupt.store(true, std::memory_order_relaxed);
+          Sh.Cv.notify_all();
+        }
+        if (Sh.Interrupt.load(std::memory_order_relaxed)) {
+          // Cooperative checkpoint: convert this subtree's unexplored
+          // remainder into pinned prefixes for the snapshot frontier.
+          // The executed share stays in Ex's summary (Exhausted set).
+          Sh.addDrained(Ex.drainFrontier());
           break;
+        }
+        if (Opts.StopOnViolation &&
+            Sh.HaveViolation.load(std::memory_order_relaxed) &&
+            !Sh.mayImprove(Ex.currentTrace()))
+          break; // pending path lex >= best violation: nothing to gain
         if (!Ex.hasWork())
           break;
         // Claim a budget ticket before committing to the execution so the
@@ -140,8 +257,14 @@ Explorer::Summary ParallelExplorer::run() {
         bool Ok = Body.Check ? Body.Check(M, S, R) : true;
         Ex.recordCheck(Ok);
         Ex.endExecution(R);
+        St.Execs.fetch_add(1, std::memory_order_relaxed);
+        St.Frontier.store(Ex.frontierSize(), std::memory_order_relaxed);
+        St.Depth.store(Ex.currentDepth(), std::memory_order_relaxed);
         if (!Ok && Opts.StopOnViolation) {
-          Sh.Stop.store(true, std::memory_order_relaxed);
+          // DFS yields each subtree's lex-least violation first, so this
+          // subtree is finished; publish the find and let the search
+          // continue only where a lex-smaller violation could hide.
+          Sh.offerViolation(Ex.summary().firstViolationDecisions());
           Sh.Cv.notify_all();
           break;
         }
@@ -149,8 +272,11 @@ Explorer::Summary ParallelExplorer::run() {
         // Work sharing: when other workers are starved, donate the
         // shallowest untried alternatives (the largest subtrees).
         unsigned Starved = Sh.Hungry.load(std::memory_order_relaxed);
-        if (Starved > 0 && Ex.splittable())
-          Sh.donate(Ex.split(Starved));
+        if (Starved > 0 && Ex.splittable()) {
+          std::vector<DecisionTree::Prefix> Don = Ex.split(Starved);
+          St.Donated.fetch_add(Don.size(), std::memory_order_relaxed);
+          Sh.donate(std::move(Don));
+        }
       }
       PeakFrontiers[Wid] =
           std::max(PeakFrontiers[Wid], Ex.summary().Perf.PeakFrontier);
@@ -164,29 +290,92 @@ Explorer::Summary ParallelExplorer::run() {
   for (unsigned I = 0; I != N; ++I)
     Workers.emplace_back(WorkerMain, I);
 
-  // Optional progress reporting from the coordinating thread.
-  if (Opts.ProgressIntervalSec > 0) {
+  // Coordinator loop: polls the external controls and emits heartbeats /
+  // progress lines until the workers are done.
+  {
+    const bool NeedPoll =
+        Ctl.StopRequested || Ctl.DeadlineSec > 0 || Ctl.InterruptAtExecs > 0;
+    const bool NeedHeartbeat =
+        Ctl.HeartbeatIntervalSec > 0 && static_cast<bool>(Ctl.OnHeartbeat);
+    const bool NeedProgress = Opts.ProgressIntervalSec > 0;
+    double WaitSec = std::numeric_limits<double>::infinity();
+    if (NeedPoll)
+      WaitSec = 0.05;
+    if (NeedHeartbeat)
+      WaitSec = std::min(WaitSec, Ctl.HeartbeatIntervalSec);
+    if (NeedProgress)
+      WaitSec = std::min(WaitSec, Opts.ProgressIntervalSec);
+
+    double LastHeartbeat = 0, LastProgress = 0;
     std::unique_lock<std::mutex> L(Sh.Mu);
     while (!Sh.Done) {
-      Sh.Cv.wait_for(L, std::chrono::duration<double>(
-                            Opts.ProgressIntervalSec));
+      if (WaitSec == std::numeric_limits<double>::infinity())
+        Sh.Cv.wait(L);
+      else
+        Sh.Cv.wait_for(L, std::chrono::duration<double>(WaitSec));
+      if (Sh.Done)
+        break;
       double Wall = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - Start)
                         .count();
-      uint64_t Execs = Sh.Tickets.load(std::memory_order_relaxed);
-      std::fprintf(stderr,
-                   "[explore x%u] ~%llu execs, %.0f execs/s, queue=%zu, "
-                   "busy=%u\n",
-                   N, static_cast<unsigned long long>(Execs),
-                   Wall > 0 ? Execs / Wall : 0.0, Sh.Queue.size(), Sh.Busy);
+      uint64_t Execs = std::min<uint64_t>(
+          Sh.Tickets.load(std::memory_order_relaxed), Opts.MaxExecutions);
+      if (!Sh.Interrupt.load(std::memory_order_relaxed)) {
+        bool Trip =
+            (Ctl.StopRequested &&
+             Ctl.StopRequested->load(std::memory_order_relaxed)) ||
+            (Ctl.DeadlineSec > 0 && Wall >= Ctl.DeadlineSec) ||
+            (Ctl.InterruptAtExecs > 0 && Execs >= Ctl.InterruptAtExecs);
+        if (Trip) {
+          Sh.Interrupt.store(true, std::memory_order_relaxed);
+          Sh.Cv.notify_all();
+        }
+      }
+      if (NeedHeartbeat && Wall - LastHeartbeat >= Ctl.HeartbeatIntervalSec) {
+        LastHeartbeat = Wall;
+        ExploreHeartbeat Hb;
+        Hb.WallSeconds = Wall;
+        Hb.Executions = Execs;
+        Hb.ExecsPerSec = Wall > 0 ? Execs / Wall : 0.0;
+        Hb.QueueSize = Sh.Queue.size();
+        Hb.BusyWorkers = Sh.Busy;
+        Hb.Workers = N;
+        Hb.Donations = Sh.Donations;
+        Hb.PerWorker.resize(N);
+        for (unsigned I = 0; I != N; ++I) {
+          Hb.PerWorker[I].Execs =
+              Stats[I].Execs.load(std::memory_order_relaxed);
+          Hb.PerWorker[I].Donated =
+              Stats[I].Donated.load(std::memory_order_relaxed);
+          Hb.PerWorker[I].Frontier =
+              Stats[I].Frontier.load(std::memory_order_relaxed);
+          Hb.PerWorker[I].Depth =
+              Stats[I].Depth.load(std::memory_order_relaxed);
+        }
+        L.unlock();
+        Ctl.OnHeartbeat(Hb); // user callback runs outside the lock
+        L.lock();
+      }
+      if (NeedProgress && Wall - LastProgress >= Opts.ProgressIntervalSec) {
+        LastProgress = Wall;
+        std::fprintf(stderr,
+                     "[explore x%u] ~%llu execs, %.0f execs/s, queue=%zu, "
+                     "busy=%u\n",
+                     N, static_cast<unsigned long long>(Execs),
+                     Wall > 0 ? Execs / Wall : 0.0, Sh.Queue.size(), Sh.Busy);
+      }
     }
   }
 
   for (std::thread &Th : Workers)
     Th.join();
 
+  ExploreResult Res;
+
   Explorer::Summary Agg;
   Agg.Exhausted = true;
+  if (Resume)
+    Agg.mergeCore(Resume->Partial);
   for (const Explorer::Summary &P : Partials)
     Agg.mergeCore(P);
 
@@ -199,8 +388,28 @@ Explorer::Summary ParallelExplorer::run() {
   for (uint64_t Pf : PeakFrontiers)
     Agg.Perf.PeakFrontier = std::max(Agg.Perf.PeakFrontier, Pf);
   Agg.Perf.PeakQueue = Sh.PeakQueue;
+  Agg.Perf.Donations = Sh.Donations;
   Agg.Perf.Workers = N;
-  return Agg;
+
+  if (Sh.Interrupt.load(std::memory_order_relaxed)) {
+    // Frontier = every worker's drained remainder plus the prefixes still
+    // sitting in the queue. Empty means the interrupt raced with natural
+    // completion: the run actually finished.
+    Res.Snapshot.Frontier = std::move(Sh.Drained);
+    for (DecisionTree::Prefix &P : Sh.Queue)
+      Res.Snapshot.Frontier.push_back(std::move(P));
+    Res.Interrupted = !Res.Snapshot.Frontier.empty();
+    if (Res.Interrupted)
+      Res.Snapshot.Partial = Agg;
+    else
+      Res.Snapshot = ExplorationSnapshot{};
+  }
+  Res.Sum = std::move(Agg);
+  return Res;
+}
+
+Explorer::Summary ParallelExplorer::run() {
+  return exploreResumable(W, ExploreControl{}).Sum;
 }
 
 Explorer::Summary compass::sim::explore(const Workload &W) {

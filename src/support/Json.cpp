@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace compass;
 
@@ -14,8 +15,14 @@ void JsonWriter::value(double V) {
     Out += "null";
     return;
   }
+  // Shortest representation that round-trips: try %.15g first (enough for
+  // most values and much shorter), fall back to %.17g which is always
+  // exact for IEEE-754 doubles. Without this, second-resolution epoch
+  // timestamps were truncated to "1.786e+09" in telemetry records.
   char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  std::snprintf(Buf, sizeof(Buf), "%.15g", V);
+  if (std::strtod(Buf, nullptr) != V)
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
   Out += Buf;
 }
 
@@ -40,8 +47,13 @@ void JsonWriter::appendString(std::string_view S) {
       break;
     default:
       if (static_cast<unsigned char>(C) < 0x20) {
+        // Promote through unsigned char: a raw (signed) char would
+        // sign-extend bytes >= 0x80, making %04x print eight hex digits
+        // ("ffffffXX") instead of a valid four-digit escape if this path
+        // ever admits them.
         char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
         Out += Buf;
       } else {
         Out += C;

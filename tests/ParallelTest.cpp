@@ -360,6 +360,79 @@ TEST(ParallelCounterexample, StopOnViolationStopsEarly) {
   EXPECT_FALSE(replay(W4, S4.firstViolationDecisions()).CheckOk);
 }
 
+namespace {
+
+/// Reference: the lexicographically least violating decision sequence is
+/// what a *full* serial exploration surfaces (DFS first == lex-min, and
+/// recordCheck keeps the lex-min across the whole run).
+std::vector<unsigned> lexMinViolation(Workload W) {
+  W.options().StopOnViolation = false;
+  auto Sum = explore(W);
+  EXPECT_TRUE(Sum.HasViolation);
+  return Sum.firstViolationDecisions();
+}
+
+/// Pins the documented StopOnViolation guarantee: the surfaced first
+/// violation is the lex-min violating decision sequence, identical at
+/// 1/2/4 workers. \p Make builds the workload at a given worker count
+/// with a given reduction mode.
+void expectLexMinStop(Workload (*Make)(unsigned, ReductionMode),
+                      ReductionMode Red, const char *Name) {
+  std::vector<unsigned> Ref = lexMinViolation(Make(1, Red));
+  ASSERT_FALSE(Ref.empty()) << Name;
+  for (unsigned W : {1u, 2u, 4u}) {
+    Workload Wl = Make(W, Red);
+    Wl.options().StopOnViolation = true;
+    auto Sum = explore(Wl);
+    ASSERT_TRUE(Sum.HasViolation) << Name << " workers=" << W;
+    EXPECT_EQ(Sum.firstViolationDecisions(), Ref)
+        << Name << " workers=" << W
+        << ": surfaced violation is not the lex-min sequence";
+    // And it replays to the same failing check.
+    EXPECT_FALSE(replay(Wl, Sum.firstViolationDecisions()).CheckOk)
+        << Name << " workers=" << W;
+  }
+}
+
+} // namespace
+
+TEST(ParallelCounterexample, StopOnViolationIsLexMinAcrossWorkers) {
+  expectLexMinStop(
+      +[](unsigned W, ReductionMode R) {
+        Workload Wl = mpWorkload(W, MemOrder::Relaxed, MemOrder::Relaxed);
+        Wl.options().Reduction = R;
+        return Wl;
+      },
+      ReductionMode::None, "MP relaxed, no reduction");
+}
+
+TEST(ParallelCounterexample, StopOnViolationIsLexMinUnderSleepReduction) {
+  // Same guarantee with sleep-set reduction enabled: the reduced tree is
+  // deterministic, so its lex-min violating sequence is too.
+  expectLexMinStop(
+      +[](unsigned W, ReductionMode R) {
+        Workload Wl = mpWorkload(W, MemOrder::Relaxed, MemOrder::Relaxed);
+        Wl.options().Reduction = R;
+        return Wl;
+      },
+      ReductionMode::SleepSet, "MP relaxed, sleep reduction");
+}
+
+TEST(ParallelCounterexample, StopOnViolationIsLexMinOnMutatedConformance) {
+  // A violation-dense conformance workload (mutated Treiber stack) under
+  // the harness's default sleep reduction — the configuration long sweeps
+  // actually run with.
+  expectLexMinStop(
+      +[](unsigned W, ReductionMode R) {
+        Workload Wl = conformanceWorkload(
+            check::Lib::TreiberStack, check::Mutation::TreiberRelaxedPopHead,
+            13, W);
+        Wl.options().Reduction = R;
+        return Wl;
+      },
+      ReductionMode::SleepSet, "treiber mutant, sleep reduction");
+}
+
 //===----------------------------------------------------------------------===//
 // Workload plumbing
 //===----------------------------------------------------------------------===//

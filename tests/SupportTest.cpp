@@ -2,11 +2,15 @@
 
 #include "support/Choice.h"
 #include "support/IdSet.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
 #include <set>
+#include <vector>
 
 using namespace compass;
 
@@ -119,4 +123,73 @@ TEST(ChoiceTest, FirstChoicePicksZero) {
   FirstChoice C;
   EXPECT_EQ(C.choose(1, "t"), 0u);
   EXPECT_EQ(C.choose(5, "t"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter string escaping and double round-trips. The control-byte case
+// pins the unsigned-char promotion in the \u escape path (a sign-extending
+// implementation prints eight hex digits for bytes >= 0x80), and the double
+// cases pin shortest-round-trip formatting (the old %.6g truncated epoch
+// timestamps to "1.786e+09" in telemetry records).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonString(std::string_view S) {
+  JsonWriter J;
+  J.value(S);
+  return J.str();
+}
+
+std::string jsonDouble(double V) {
+  JsonWriter J;
+  J.value(V);
+  return J.str();
+}
+
+} // namespace
+
+TEST(JsonTest, EscapesControlBytesAsFourHexDigits) {
+  EXPECT_EQ(jsonString(std::string_view("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(jsonString(std::string_view("\x1f", 1)), "\"\\u001f\"");
+  EXPECT_EQ(jsonString(std::string_view("\x00", 1)), "\"\\u0000\"");
+  // A control byte embedded in text must not disturb its neighbours.
+  EXPECT_EQ(jsonString(std::string_view("a\x02z", 3)), "\"a\\u0002z\"");
+}
+
+TEST(JsonTest, EscapesShorthandAndQuoting) {
+  EXPECT_EQ(jsonString("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(jsonString("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(jsonString("cr\rhere"), "\"cr\\rhere\"");
+  EXPECT_EQ(jsonString("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(jsonString("back\\slash"), "\"back\\\\slash\"");
+}
+
+TEST(JsonTest, HighBytesPassThroughVerbatim) {
+  // Multi-byte UTF-8 sequences (all bytes >= 0x80) must be copied as-is,
+  // never routed through the \u escape path where sign extension would
+  // corrupt them.
+  const std::string Utf8 = "caf\xc3\xa9 \xe2\x88\x80x";
+  EXPECT_EQ(jsonString(Utf8), "\"" + Utf8 + "\"");
+  const std::string Single = "\x80\xff";
+  EXPECT_EQ(jsonString(Single), "\"" + Single + "\"");
+}
+
+TEST(JsonTest, DoublesRoundTrip) {
+  // Shortest-form values stay short.
+  EXPECT_EQ(jsonDouble(0.0), "0");
+  EXPECT_EQ(jsonDouble(1.5), "1.5");
+  EXPECT_EQ(jsonDouble(-2.25), "-2.25");
+  // Values that %.6g would truncate must parse back exactly.
+  for (double V : {1754500000.123456, 0.1, 1.0 / 3.0, 1e-300, 123456789.0,
+                   9007199254740993.0 /* 2^53 + 1, rounds to 2^53 */}) {
+    std::string S = jsonDouble(V);
+    EXPECT_EQ(std::strtod(S.c_str(), nullptr), V) << S;
+  }
+}
+
+TEST(JsonTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(jsonDouble(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonDouble(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonDouble(std::numeric_limits<double>::quiet_NaN()), "null");
 }

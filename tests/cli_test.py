@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CLI contract test for compass_check flag parsing.
+
+Pins the strict numeric-flag contract: malformed, signed, overflowing, or
+missing values exit 2 and print usage to stderr (pre-fix, strtoull
+silently mapped "abc" and "-1" to a number and the sweep ran with
+garbage); valid spellings are accepted. Invoked by ctest as
+`test_cli <path-to-compass_check>`.
+"""
+
+import subprocess
+import sys
+
+BIN = None
+failures = []
+
+
+def run(*args, timeout=120):
+    return subprocess.run([BIN, *args], capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def check(name, cond, proc=None):
+    print(f"  {'PASS' if cond else 'FAIL'}  {name}")
+    if not cond:
+        failures.append(name)
+        if proc is not None:
+            sys.stdout.write(f"    exit={proc.returncode}\n"
+                             f"    stderr: {proc.stderr[:400]}\n")
+
+
+def expect_usage_error(name, *args):
+    p = run(*args)
+    check(name, p.returncode == 2 and "usage:" in p.stderr, p)
+
+
+def main():
+    global BIN
+    if len(sys.argv) != 2:
+        print("usage: cli_test.py <compass_check binary>", file=sys.stderr)
+        return 2
+    BIN = sys.argv[1]
+
+    # --- malformed numeric values: exit 2 + usage -------------------------
+    expect_usage_error("non-numeric seed", "sweep", "--seed", "abc")
+    expect_usage_error("negative seed", "sweep", "--seed", "-1")
+    expect_usage_error("overflowing seed", "sweep", "--seed",
+                       "99999999999999999999999")
+    expect_usage_error("hex per-lib", "sweep", "--per-lib", "0x10")
+    expect_usage_error("trailing junk per-lib", "sweep", "--per-lib", "3q")
+    expect_usage_error("plus-signed max-execs", "sweep", "--max-execs", "+5")
+    expect_usage_error("empty workers", "sweep", "--workers", "")
+    expect_usage_error("zero workers", "sweep", "--workers", "0")
+    expect_usage_error("float per-lib", "sweep", "--per-lib", "1.5")
+    expect_usage_error("missing value", "sweep", "--per-lib")
+    expect_usage_error("unsigned overflow per-lib", "sweep", "--per-lib",
+                       str(2**64))
+    expect_usage_error("mutants non-numeric max-scenarios", "mutants",
+                       "--max-scenarios", "many")
+    expect_usage_error("negative time budget", "sweep", "--time-budget", "-2")
+    expect_usage_error("zero time budget", "sweep", "--time-budget", "0")
+    expect_usage_error("non-numeric time budget", "sweep", "--time-budget",
+                       "soon")
+    expect_usage_error("bad checkpoint-every suffix", "sweep",
+                       "--checkpoint-every", "5x")
+    expect_usage_error("empty checkpoint-every", "sweep",
+                       "--checkpoint-every", "s")
+    expect_usage_error("unknown flag", "sweep", "--frobnicate")
+    expect_usage_error("unknown command", "frobnicate")
+    expect_usage_error("bad lib name", "sweep", "--lib", "no_such_lib")
+    expect_usage_error("bad reduction", "sweep", "--reduction", "magic")
+    p = run("sweep", "--resume", "/nonexistent/ckpt")
+    check("missing resume file exits 2 with diagnostic",
+          p.returncode == 2 and "cannot read" in p.stderr, p)
+
+    # --- valid spellings still accepted -----------------------------------
+    p = run("sweep", "--seed", "3", "--per-lib", "1", "--workers", "1",
+            "--max-execs", "2000", "--lib", "ms_queue")
+    check("valid sweep runs", p.returncode == 0, p)
+    check("valid sweep prints fingerprint", "fingerprint" in p.stdout, p)
+
+    p = run("sweep", "--seed", "3", "--per-lib", "1", "--workers", "2",
+            "--max-execs", "2000", "--lib", "ms_queue",
+            "--time-budget", "30.5")
+    check("fractional time budget accepted", p.returncode == 0, p)
+
+    p = run("sweep", "--seed", "3", "--per-lib", "1", "--max-execs", "2000",
+            "--lib", "ms_queue", "--checkpoint-every", "1000000")
+    check("checkpoint-every execs accepted", p.returncode == 0, p)
+
+    p = run("sweep", "--seed", "3", "--per-lib", "1", "--max-execs", "2000",
+            "--lib", "ms_queue", "--checkpoint-every", "900s")
+    check("checkpoint-every seconds accepted", p.returncode == 0, p)
+
+    if failures:
+        print(f"\ncli_test FAILED: {len(failures)} check(s)")
+        return 1
+    print("\ncli_test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
