@@ -15,6 +15,7 @@
 #include "native/ElimStack.h"
 #include "native/Locked.h"
 #include "native/TreiberStack.h"
+#include "native/TreiberStackEbr.h"
 
 #include <benchmark/benchmark.h>
 
@@ -45,6 +46,13 @@ void mutexSetup(const benchmark::State &) {
 }
 void mutexTeardown(const benchmark::State &) { GMutex.reset(); }
 
+std::unique_ptr<TreiberStackEbr<uint64_t>> GEbr;
+
+void ebrSetup(const benchmark::State &) {
+  GEbr = std::make_unique<TreiberStackEbr<uint64_t>>();
+}
+void ebrTeardown(const benchmark::State &) { GEbr.reset(); }
+
 void bmTreiber(benchmark::State &State) {
   uint64_t V = 1;
   for (auto _ : State) {
@@ -59,6 +67,18 @@ void bmElim(benchmark::State &State) {
   for (auto _ : State) {
     GElim->push(V++);
     benchmark::DoNotOptimize(GElim->pop());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void bmEbr(benchmark::State &State) {
+  // Per-thread participant: pin/unpin bracketing plus online reclamation
+  // is the overhead this row prices against the deferred-retire Treiber.
+  auto H = GEbr->registerThread();
+  uint64_t V = 1;
+  for (auto _ : State) {
+    GEbr->push(H, V++);
+    benchmark::DoNotOptimize(GEbr->pop(H));
   }
   State.SetItemsProcessed(State.iterations());
 }
@@ -89,6 +109,13 @@ int main(int argc, char **argv) {
         ->Iterations(PairsPerThread)
         ->Setup(elimSetup)
         ->Teardown(elimTeardown)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("P2/treiber_stack_ebr/push_pop_pair",
+                                 bmEbr)
+        ->Threads(Threads)
+        ->Iterations(PairsPerThread)
+        ->Setup(ebrSetup)
+        ->Teardown(ebrTeardown)
         ->UseRealTime();
     benchmark::RegisterBenchmark("P2/mutex_stack/push_pop_pair", bmMutex)
         ->Threads(Threads)

@@ -46,6 +46,15 @@ ContainerAdapter::ContainerAdapter(const Scenario &S, Mutation Mut,
       Stk = std::make_unique<MutTreiberStack>(M, Mon, "s", Mut);
     Obj = Stk->objId();
     break;
+  case Lib::TreiberEbr:
+    if (Mut == Mutation::None)
+      Stk = std::make_unique<lib::TreiberStackEbr>(
+          M, Mon, "s", static_cast<unsigned>(S.Threads.size()));
+    else
+      Stk = std::make_unique<MutTreiberStackEbr>(
+          M, Mon, "s", static_cast<unsigned>(S.Threads.size()), Mut);
+    Obj = Stk->objId();
+    break;
   case Lib::ElimStack:
     assert(Mut == Mutation::None && "no ElimStack mutants");
     Elim = std::make_unique<lib::ElimStack>(M, Mon, "es");
@@ -218,7 +227,7 @@ sim::Workload::Body bodyFor(std::shared_ptr<RunState> St) {
       St->LastVerdict = Verdict{};
       return true;
     case sim::Scheduler::RunResult::Race:
-      St->LastVerdict = Verdict::fail("RACE", M.raceMessage());
+      St->LastVerdict = Verdict::fail(M.faultRule(), M.raceMessage());
       return false;
     case sim::Scheduler::RunResult::Deadlock:
       St->LastVerdict =

@@ -31,6 +31,7 @@
 #include "lib/MsQueue.h"
 #include "lib/SpscRing.h"
 #include "lib/TreiberStack.h"
+#include "lib/TreiberStackEbr.h"
 #include "lib/WsDeque.h"
 #include "sim/Workload.h"
 

@@ -243,6 +243,149 @@ Task<Value> MutTreiberStack::pop(Env &E) {
   }
 }
 
+// === MutTreiberStackEbr ==================================================
+
+MutTreiberStackEbr::MutTreiberStackEbr(Machine &M, spec::SpecMonitor &Mon,
+                                       std::string Name, unsigned NumThreads,
+                                       Mutation Mut)
+    : Mon(Mon), Mut(Mut),
+      // MUTANT(EbrSkipGracePeriod): the domain's epoch advance skips the
+      // announcement scan, so retired nodes are freed under pinned readers.
+      Dom(M, Name + ".ebr", NumThreads,
+          sim::Ebr::Options{Mut == Mutation::EbrSkipGracePeriod}) {
+  assert(Mut == Mutation::EbrSkipGracePeriod ||
+         Mut == Mutation::EbrEarlyUnpin);
+  Obj = Mon.registerObject(Name);
+  HeadLoc = M.alloc(Name + ".head");
+}
+
+Task<bool> MutTreiberStackEbr::pushAttempt(Env &E, Value HeadPtr, Loc N,
+                                           Value V) {
+  co_await E.store(N + NextOff, HeadPtr, MemOrder::NonAtomic);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  co_await E.store(N + EidOff, Ev, MemOrder::NonAtomic);
+  auto R = co_await E.cas(HeadLoc, HeadPtr, N, MemOrder::Release);
+  if (R.Success) {
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::Push, V);
+    co_return true;
+  }
+  Mon.retract(E.M, E.Tid, Ev);
+  co_return false;
+}
+
+Task<void> MutTreiberStackEbr::push(Env &E, Value V) {
+  Loc N = E.M.alloc("estk.node", NodeCells);
+  co_await E.store(N + ValOff, V, MemOrder::NonAtomic);
+  auto Pin = Dom.pin(E);
+  co_await Pin;
+  Timestamp PrevTs = ~0u;
+  bool First = true;
+  for (;;) {
+    Value HeadPtr = co_await E.load(HeadLoc, MemOrder::Relaxed);
+    Timestamp Ts = E.M.lastReadTs(E.Tid);
+    if (!First && Ts == PrevTs)
+      co_await E.prune();
+    First = false;
+    PrevTs = Ts;
+    auto Attempt = pushAttempt(E, HeadPtr, N, V);
+    bool Ok = co_await Attempt;
+    if (Ok)
+      break;
+  }
+  auto Unpin = Dom.unpin(E);
+  co_await Unpin;
+}
+
+Task<bool> MutTreiberStackEbr::tryPush(Env &E, Value V) {
+  Loc N = E.M.alloc("estk.node", NodeCells);
+  co_await E.store(N + ValOff, V, MemOrder::NonAtomic);
+  auto Pin = Dom.pin(E);
+  co_await Pin;
+  Value HeadPtr = co_await E.load(HeadLoc, MemOrder::Relaxed);
+  auto Attempt = pushAttempt(E, HeadPtr, N, V);
+  bool Ok = co_await Attempt;
+  auto Unpin = Dom.unpin(E);
+  co_await Unpin;
+  co_return Ok;
+}
+
+Task<Value> MutTreiberStackEbr::popAttempt(Env &E, Timestamp *HeadTsOut) {
+  Value HeadPtr = co_await E.load(HeadLoc, MemOrder::Acquire);
+  if (HeadTsOut)
+    *HeadTsOut = E.M.lastReadTs(E.Tid);
+  if (Mut == Mutation::EbrEarlyUnpin) {
+    // MUTANT(EbrEarlyUnpin): leave the critical section as soon as the
+    // head snapshot is taken. Everything below — including the node
+    // dereferences — runs unprotected, so a concurrent pop can retire the
+    // node and the domain can free it under us.
+    auto Unpin = Dom.unpin(E);
+    co_await Unpin;
+  }
+  if (HeadPtr == 0) {
+    EventId Ev = Mon.reserve(E.M, E.Tid);
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopEmpty, EmptyVal);
+    co_return EmptyVal;
+  }
+  Loc Node = static_cast<Loc>(HeadPtr);
+  Value Next = co_await E.load(Node + NextOff, MemOrder::NonAtomic);
+  Value V = co_await E.load(Node + ValOff, MemOrder::NonAtomic);
+  Value PushEv = co_await E.load(Node + EidOff, MemOrder::NonAtomic);
+  EventId Ev = Mon.reserve(E.M, E.Tid);
+  auto R = co_await E.cas(HeadLoc, HeadPtr, Next, MemOrder::Acquire);
+  if (R.Success) {
+    Mon.commit(E.M, E.Tid, Ev, Obj, OpKind::PopOk, V, 0,
+               static_cast<EventId>(PushEv));
+    auto Ret = Dom.retire(E, Node, NodeCells);
+    co_await Ret;
+    co_return V;
+  }
+  Mon.retract(E.M, E.Tid, Ev);
+  co_return FailRaceVal;
+}
+
+Task<Value> MutTreiberStackEbr::tryPop(Env &E) {
+  auto Pin = Dom.pin(E);
+  co_await Pin;
+  auto Attempt = popAttempt(E, nullptr);
+  Value V = co_await Attempt;
+  if (Mut != Mutation::EbrEarlyUnpin) {
+    auto Unpin = Dom.unpin(E);
+    co_await Unpin;
+  }
+  co_return V;
+}
+
+Task<Value> MutTreiberStackEbr::pop(Env &E) {
+  auto Pin = Dom.pin(E);
+  co_await Pin;
+  Timestamp PrevTs = ~0u;
+  bool First = true;
+  Value Out = FailRaceVal;
+  for (;;) {
+    Timestamp Ts = 0;
+    auto Attempt = popAttempt(E, &Ts);
+    Value V = co_await Attempt;
+    if (V != FailRaceVal) {
+      Out = V;
+      break;
+    }
+    if (!First && Ts == PrevTs)
+      co_await E.prune();
+    First = false;
+    PrevTs = Ts;
+    if (Mut == Mutation::EbrEarlyUnpin) {
+      // The failed attempt already unpinned; re-enter for the retry.
+      auto Pin2 = Dom.pin(E);
+      co_await Pin2;
+    }
+  }
+  if (Mut != Mutation::EbrEarlyUnpin) {
+    auto Unpin = Dom.unpin(E);
+    co_await Unpin;
+  }
+  co_return Out;
+}
+
 // === MutExchanger ========================================================
 
 MutExchanger::MutExchanger(Machine &M, spec::SpecMonitor &Mon,

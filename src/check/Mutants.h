@@ -24,6 +24,7 @@
 #define COMPASS_CHECK_MUTANTS_H
 
 #include "check/Scenario.h"
+#include "sim/Ebr.h"
 #include "spec/SpecMonitor.h"
 
 #include <map>
@@ -68,6 +69,37 @@ private:
   unsigned Obj;
   Mutation Mut;
   rmc::Loc HeadLoc;
+};
+
+/// EBR-reclaiming Treiber stack with EbrSkipGracePeriod or EbrEarlyUnpin.
+/// Both are *reclamation* bugs: the event graphs they record stay
+/// LAT-consistent, so only the machine's retire/free lifecycle tracking
+/// (PREMATURE_FREE / USE_AFTER_RETIRE) can kill them.
+class MutTreiberStackEbr final : public lib::SimStack {
+public:
+  MutTreiberStackEbr(rmc::Machine &M, spec::SpecMonitor &Mon,
+                     std::string Name, unsigned NumThreads, Mutation Mut);
+
+  sim::Task<void> push(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> pop(sim::Env &E) override;
+  sim::Task<bool> tryPush(sim::Env &E, rmc::Value V) override;
+  sim::Task<rmc::Value> tryPop(sim::Env &E) override;
+  unsigned objId() const override { return Obj; }
+
+private:
+  static constexpr unsigned ValOff = 0, EidOff = 1, NextOff = 2;
+  static constexpr unsigned NodeCells = 3;
+  sim::Task<bool> pushAttempt(sim::Env &E, rmc::Value HeadPtr, rmc::Loc N,
+                              rmc::Value V);
+  /// One pop attempt. Under EbrEarlyUnpin the attempt itself leaves the
+  /// critical section right after reading head, so on exit the thread is
+  /// *unpinned*; otherwise the caller's pin is left in place.
+  sim::Task<rmc::Value> popAttempt(sim::Env &E, rmc::Timestamp *HeadTsOut);
+  spec::SpecMonitor &Mon;
+  unsigned Obj;
+  Mutation Mut;
+  rmc::Loc HeadLoc;
+  sim::Ebr Dom;
 };
 
 /// Exchanger with ExchangerEchoValue: the event graph records the true

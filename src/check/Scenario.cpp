@@ -11,7 +11,7 @@ using namespace compass::check;
 const Lib *check::allLibs() {
   static const Lib All[NumLibs] = {
       Lib::MsQueue,   Lib::HwQueue,  Lib::TreiberStack, Lib::ElimStack,
-      Lib::Exchanger, Lib::SpscRing, Lib::WsDeque};
+      Lib::Exchanger, Lib::SpscRing, Lib::WsDeque,      Lib::TreiberEbr};
   return All;
 }
 
@@ -31,6 +31,8 @@ const char *check::libName(Lib L) {
     return "spsc_ring";
   case Lib::WsDeque:
     return "ws_deque";
+  case Lib::TreiberEbr:
+    return "treiber_ebr";
   }
   return "?";
 }
@@ -51,6 +53,7 @@ lib::ContainerFamily check::libFamily(Lib L) {
     return lib::ContainerFamily::Queue;
   case Lib::TreiberStack:
   case Lib::ElimStack:
+  case Lib::TreiberEbr:
     return lib::ContainerFamily::Stack;
   case Lib::Exchanger:
     return lib::ContainerFamily::Exchanger;
@@ -149,6 +152,10 @@ const char *check::mutationName(Mutation M) {
     return "spsc_relaxed_tail_publish";
   case Mutation::WsDequeTakeNoFence:
     return "ws_deque_take_no_fence";
+  case Mutation::EbrSkipGracePeriod:
+    return "ebr_skip_grace_period";
+  case Mutation::EbrEarlyUnpin:
+    return "ebr_early_unpin";
   }
   return "?";
 }
@@ -179,6 +186,9 @@ Lib check::mutationLib(Mutation M) {
     return Lib::SpscRing;
   case Mutation::WsDequeTakeNoFence:
     return Lib::WsDeque;
+  case Mutation::EbrSkipGracePeriod:
+  case Mutation::EbrEarlyUnpin:
+    return Lib::TreiberEbr;
   }
   return Lib::MsQueue;
 }
@@ -210,6 +220,13 @@ const char *check::mutationDescription(Mutation M) {
     return "take omits the seq-cst fence between the bottom decrement and "
            "the top read; a stale top lets the owner duplicate an element "
            "a thief already stole";
+  case Mutation::EbrSkipGracePeriod:
+    return "the epoch advance skips the announcement scan, freeing retired "
+           "nodes while readers are still pinned (premature free)";
+  case Mutation::EbrEarlyUnpin:
+    return "pop leaves the pinned critical section right after reading "
+           "head, so the node it dereferences can be reclaimed under it "
+           "(use after retire)";
   }
   return "?";
 }

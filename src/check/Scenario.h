@@ -47,10 +47,11 @@ enum class Lib : uint8_t {
   ElimStack,
   Exchanger,
   SpscRing,
-  WsDeque
+  WsDeque,
+  TreiberEbr ///< Treiber stack with simulated epoch-based reclamation.
 };
 
-inline constexpr unsigned NumLibs = 7;
+inline constexpr unsigned NumLibs = 8;
 
 /// All libraries, in a stable order (indexable by static_cast<unsigned>).
 const Lib *allLibs();
@@ -126,10 +127,12 @@ enum class Mutation : uint8_t {
   TreiberPopBelowTop,     ///< Pop removes the element *below* the top.
   ExchangerEchoValue,     ///< Exchange returns the caller's own value.
   SpscRelaxedTailPublish, ///< Producer's tail store relaxed, not release.
-  WsDequeTakeNoFence      ///< Take's seq-cst fence removed.
+  WsDequeTakeNoFence,     ///< Take's seq-cst fence removed.
+  EbrSkipGracePeriod,     ///< Epoch advance skips the announcement scan.
+  EbrEarlyUnpin           ///< Pop unpins before dereferencing the node.
 };
 
-inline constexpr unsigned NumMutations = 8; ///< Including None.
+inline constexpr unsigned NumMutations = 10; ///< Including None.
 
 const char *mutationName(Mutation M); ///< "none", "ms_queue_relaxed_publish", ...
 bool parseMutation(const std::string &Name, Mutation &Out);

@@ -143,6 +143,7 @@ Scenario check::generateScenario(Lib L, uint64_t Seed, const GenOptions &O) {
     break;
   case Lib::TreiberStack:
   case Lib::ElimStack:
+  case Lib::TreiberEbr:
     genQueueLike(S, R, O, /*Stack=*/true);
     break;
   case Lib::Exchanger:

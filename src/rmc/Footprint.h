@@ -51,7 +51,10 @@ struct Footprint {
     Read,   ///< Load (including failed-CAS reads and spin-wait loads).
     Write,  ///< Plain store.
     Update, ///< RMW: successful CAS or fetch-add (read + write).
-    Fence   ///< Memory fence (no location).
+    Fence,  ///< Memory fence (no location).
+    Reclaim, ///< Reclamation ghost step (pin / unpin / retire): touches the
+             ///< global reclamation ghost state, not any cell history.
+    Free     ///< Reclamation free step: invalidates cells for every thread.
   };
 
   Loc L = 0;            ///< Touched location (meaningless for Start/Fence).
@@ -74,6 +77,23 @@ inline bool independent(const Footprint &A, const Footprint &B) {
     return false; // Both touch the global SC view.
   if (A.K == Footprint::Kind::Start || B.K == Footprint::Kind::Start)
     return true; // Thread start touches no memory.
+  if (A.K == Footprint::Kind::Free || B.K == Footprint::Kind::Free)
+    return false; // Freeing invalidates cells for everyone: a plain access
+                  // before vs. after a free is the use-after-free verdict
+                  // itself, so frees commute with nothing (but Start).
+  if (A.K == Footprint::Kind::Reclaim || B.K == Footprint::Kind::Reclaim) {
+    // Pin/unpin/retire ghost steps all read-modify the shared reclamation
+    // ghost state (pin sessions, retire snapshots, client retire bins), so
+    // two of them never commute. Client bookkeeping may also ride on SC
+    // steps (sim::Ebr claims a retire bin atomically with its epoch-advance
+    // CAS), so Reclaim is additionally dependent on every SC step. Against
+    // plain non-SC accesses and fences it is independent — it touches no
+    // cell history and no thread view.
+    if (A.K == Footprint::Kind::Reclaim &&
+        B.K == Footprint::Kind::Reclaim)
+      return false;
+    return !A.Sc && !B.Sc;
+  }
   if (A.K == Footprint::Kind::Fence || B.K == Footprint::Kind::Fence)
     return true; // Non-SC fences are thread-local (SC pairs handled above).
   if (A.L != B.L)

@@ -31,6 +31,8 @@ void Machine::ThreadState::clear() {
   HasRead = false;
   LastReadLoc = 0;
   LastReadTs = 0;
+  Pinned = false;
+  PinSession = 0;
 }
 
 unsigned Machine::addThread() {
@@ -47,6 +49,7 @@ void Machine::reset() {
   ScPhys.clear();
   Raced = false;
   RaceMsg.clear();
+  FaultRule = "RACE";
   Trace.clear();
   LastFp = Footprint();
   // Counters and OpSeqN are monotonic across resets by design; Tracing is
@@ -87,13 +90,27 @@ Timestamp Machine::lastReadTs(unsigned T) const {
   return TS.LastReadTs;
 }
 
-void Machine::reportRace(unsigned T, Loc L, const char *What) {
+void Machine::reportFault(const char *Rule, std::string Msg) {
   if (Raced)
-    return;
+    return; // First fault wins; the scheduler stops at the next step.
   Raced = true;
-  RaceMsg = "data race: thread " + std::to_string(T) + " " + What +
-            " on '" + Mem.cell(L).Name + "' without having observed all " +
-            "writes to it";
+  FaultRule = Rule;
+  RaceMsg = std::move(Msg);
+}
+
+void Machine::reportRace(unsigned T, Loc L, const char *What) {
+  reportFault("RACE", "data race: thread " + std::to_string(T) + " " +
+                          What + " on '" + Mem.cell(L).Name +
+                          "' without having observed all writes to it");
+}
+
+void Machine::checkNotFreed(unsigned T, Loc L, const char *What) {
+  const Cell &C = Mem.cell(L);
+  if (C.Life == CellLife::Freed)
+    reportFault("USE_AFTER_RETIRE",
+                "use after retire: thread " + std::to_string(T) + " " +
+                    What + " on '" + C.Name +
+                    "', which was retired and freed before the access");
 }
 
 void Machine::traceOp(unsigned T, const std::string &Line) {
@@ -142,6 +159,7 @@ Value Machine::load(unsigned T, Loc L, MemOrder O) {
   noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
+  checkNotFreed(T, L, "load");
 
   if (O == MemOrder::NonAtomic) {
     if (TS.Cur.Phys.get(L) != C.latestTs())
@@ -175,6 +193,7 @@ Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
   noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
+  checkNotFreed(T, L, "conditional load");
   assert(O != MemOrder::NonAtomic && "conditional loads must be atomic");
 
   if (O == MemOrder::SeqCst) {
@@ -221,6 +240,7 @@ void Machine::store(unsigned T, Loc L, Value V, MemOrder O) {
   noteOp(L, Footprint::Kind::Write, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
+  checkNotFreed(T, L, "store");
 
   if (O == MemOrder::NonAtomic) {
     if (TS.Cur.Phys.get(L) != C.latestTs())
@@ -247,6 +267,7 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
   const bool Sc = SuccO == MemOrder::SeqCst || FailO == MemOrder::SeqCst;
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
+  checkNotFreed(T, L, "compare-and-swap");
   assert(SuccO != MemOrder::NonAtomic && FailO != MemOrder::NonAtomic &&
          "CAS must be atomic");
 
@@ -312,6 +333,7 @@ Value Machine::fetchAdd(unsigned T, Loc L, Value Add, MemOrder O) {
   noteOp(L, Footprint::Kind::Update, O == MemOrder::SeqCst);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
+  checkNotFreed(T, L, "fetch-add");
   assert(O != MemOrder::NonAtomic && "RMW must be atomic");
 
   if (O == MemOrder::SeqCst) {
@@ -359,4 +381,62 @@ void Machine::fence(unsigned T, MemOrder O) {
     fatalError("invalid fence order");
   }
   traceOp(T, std::string("fence.") + memOrderName(O));
+}
+
+void Machine::pinEnter(unsigned T) {
+  noteOp(0, Footprint::Kind::Reclaim, /*Sc=*/false);
+  ThreadState &TS = thread(T);
+  if (TS.Pinned)
+    fatalError("pinEnter: thread already pinned");
+  TS.Pinned = true;
+  ++TS.PinSession;
+  traceOp(T, "ebr.pin #" + std::to_string(TS.PinSession));
+}
+
+void Machine::pinExit(unsigned T) {
+  noteOp(0, Footprint::Kind::Reclaim, /*Sc=*/false);
+  ThreadState &TS = thread(T);
+  if (!TS.Pinned)
+    fatalError("pinExit: thread not pinned");
+  TS.Pinned = false;
+  traceOp(T, "ebr.unpin #" + std::to_string(TS.PinSession));
+}
+
+void Machine::retire(unsigned T, Loc L, unsigned Count) {
+  noteOp(L, Footprint::Kind::Reclaim, /*Sc=*/false);
+  for (unsigned I = 0; I != Count; ++I) {
+    Cell &C = Mem.cell(L + I);
+    if (C.Life != CellLife::Live)
+      fatalError("retire: cell retired twice");
+    C.Life = CellLife::Retired;
+    C.RetirePins.clear();
+    for (size_t P = 0; P != LiveThreads; ++P)
+      if (Threads[P].Pinned)
+        C.RetirePins.push_back(
+            {static_cast<unsigned>(P), Threads[P].PinSession});
+  }
+  traceOp(T, "ebr.retire " + Mem.cell(L).Name + "×" +
+                 std::to_string(Count));
+}
+
+void Machine::freeCells(unsigned T, Loc L, unsigned Count) {
+  noteOp(L, Footprint::Kind::Free, /*Sc=*/false);
+  for (unsigned I = 0; I != Count; ++I) {
+    Cell &C = Mem.cell(L + I);
+    if (C.Life != CellLife::Retired)
+      fatalError("freeCells: cell not retired (double free or free of a "
+                 "live cell)");
+    for (const PinRef &P : C.RetirePins)
+      if (Threads[P.Tid].Pinned && Threads[P.Tid].PinSession == P.Session) {
+        reportFault("PREMATURE_FREE",
+                    "premature free: thread " + std::to_string(T) +
+                        " frees '" + C.Name + "' while thread " +
+                        std::to_string(P.Tid) +
+                        " is still pinned in the critical section that "
+                        "overlapped the retire");
+        break;
+      }
+    C.Life = CellLife::Freed;
+  }
+  traceOp(T, "ebr.free " + Mem.cell(L).Name + "×" + std::to_string(Count));
 }

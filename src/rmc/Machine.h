@@ -126,6 +126,31 @@ public:
   /// Memory fence with order Acquire / Release / AcqRel / SeqCst.
   void fence(unsigned T, MemOrder O);
 
+  /// Reclamation ghost operations (simulated EBR, DESIGN.md Section 10).
+  /// These are scheduler-visible steps of their own (Footprint::Kind
+  /// Reclaim / Free) but touch only the reclamation ghost state — pin
+  /// sessions and cell lifecycles — never cell histories or views.
+
+  /// Enters a pinned (epoch-protected) critical section for thread \p T,
+  /// starting a fresh pin session. Fatal if already pinned.
+  void pinEnter(unsigned T);
+
+  /// Leaves the pinned critical section. Fatal if not pinned.
+  void pinExit(unsigned T);
+
+  /// Whether thread \p T is currently inside a pinned critical section.
+  bool pinned(unsigned T) const { return thread(T).Pinned; }
+
+  /// Retires cells [L, L+Count): marks them Retired and snapshots every
+  /// currently pinned (thread, session) pair — the readers whose critical
+  /// sections must end before the cells may be freed.
+  void retire(unsigned T, Loc L, unsigned Count = 1);
+
+  /// Frees retired cells [L, L+Count). Reports a PREMATURE_FREE fault if
+  /// any reader pinned at retire time is still in the same pin session;
+  /// marks the cells Freed so later accesses fault as USE_AFTER_RETIRE.
+  void freeCells(unsigned T, Loc L, unsigned Count = 1);
+
   /// The thread's current knowledge; the spec monitor reads it to snapshot
   /// physical/logical views at commit points and extends its logical half
   /// with freshly committed event ids.
@@ -149,10 +174,17 @@ public:
 
   const Memory &memory() const { return Mem; }
 
-  /// True once a data race on a non-atomic access has been detected; the
-  /// scheduler aborts the execution and reports \p raceMessage.
+  /// True once a machine-level fault has been detected — a data race on a
+  /// non-atomic access, a use-after-retire, or a premature free; the
+  /// scheduler aborts the execution and reports \p raceMessage. (The name
+  /// predates the reclamation faults; all faults surface through it.)
   bool raceDetected() const { return Raced; }
   const std::string &raceMessage() const { return RaceMsg; }
+
+  /// Structured verdict rule for the detected fault: "RACE",
+  /// "USE_AFTER_RETIRE", or "PREMATURE_FREE". Meaningful only when
+  /// raceDetected().
+  const char *faultRule() const { return FaultRule; }
 
   const Stats &stats() const { return Counters; }
 
@@ -182,6 +214,8 @@ private:
     bool HasRead = false; ///< Whether LastRead{Loc,Ts} are valid.
     Loc LastReadLoc = 0;
     Timestamp LastReadTs = 0;
+    bool Pinned = false;     ///< Inside an EBR-pinned critical section.
+    uint64_t PinSession = 0; ///< Per-execution pin-session counter.
 
     const Knowledge *findRel(Loc L) const {
       for (size_t I = 0; I != RelLive; ++I)
@@ -213,6 +247,10 @@ private:
                        Knowledge MsgK, bool Release);
 
   void reportRace(unsigned T, Loc L, const char *What);
+  void reportFault(const char *Rule, std::string Msg);
+  /// Faults if \p L is a freed cell (use-after-retire detection); called on
+  /// every access path.
+  void checkNotFreed(unsigned T, Loc L, const char *What);
   void traceOp(unsigned T, const std::string &Line);
 
   /// Records the footprint of the operation just executed.
@@ -238,6 +276,7 @@ private:
   View ScPhys;
   bool Raced = false;
   std::string RaceMsg;
+  const char *FaultRule = "RACE"; ///< Rule of the recorded fault.
   Stats Counters;
   bool Tracing = false;
   std::vector<std::string> Trace;

@@ -22,6 +22,8 @@ Loc Memory::alloc(std::string Name, unsigned Count, Value Init) {
       Cell &C = Cells[Live];
       if (C.Name != N)
         C.Name = N;
+      C.Life = CellLife::Live;
+      C.RetirePins.clear();
       C.History.resize(1);
       Message &M0 = C.History.front();
       M0.Ts = 0;

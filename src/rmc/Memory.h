@@ -39,10 +39,26 @@ struct Message {
   unsigned Writer = ~0u; ///< Thread id of the writer (~0u for init).
 };
 
+/// Reclamation lifecycle of a cell. Allocation never reuses locations
+/// within one simulation, so the lifecycle is monotonic: Live → Retired →
+/// Freed. Accesses to Retired cells are still legal (a pinned reader may
+/// hold the node); accesses to Freed cells are use-after-free faults.
+enum class CellLife : uint8_t { Live, Retired, Freed };
+
+/// A reader pinned at the moment a cell was retired: thread id plus that
+/// thread's pin-session number (so a later re-pin of the same thread is
+/// not mistaken for the protected critical section).
+struct PinRef {
+  unsigned Tid = 0;
+  uint64_t Session = 0;
+};
+
 /// A single memory cell and its complete write history.
 struct Cell {
   std::vector<Message> History; ///< Indexed by timestamp (dense, from 0).
   std::string Name;             ///< Debug name ("q.head", "node3.next"...).
+  CellLife Life = CellLife::Live; ///< Reclamation lifecycle state.
+  std::vector<PinRef> RetirePins; ///< Readers pinned when it was retired.
 
   const Message &latest() const { return History.back(); }
   Timestamp latestTs() const { return History.back().Ts; }

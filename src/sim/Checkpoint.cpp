@@ -276,7 +276,7 @@ bool sim::parseSnapshot(std::string_view Text, ExplorationSnapshot &Out,
       if (!expectKeyword(R, "s", FS) || !FS.num(Mv.Tid) || !FS.num(L) ||
           !FS.num(Kind) || !FS.flag(Mv.Fp.Sc))
         return Done(R.fail("malformed sleep record"));
-      if (Kind > static_cast<unsigned>(rmc::Footprint::Kind::Fence))
+      if (Kind > static_cast<unsigned>(rmc::Footprint::Kind::Free))
         return Done(R.fail("sleep footprint kind out of range"));
       Mv.Fp.L = static_cast<rmc::Loc>(L);
       Mv.Fp.K = static_cast<rmc::Footprint::Kind>(Kind);

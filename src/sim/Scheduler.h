@@ -58,6 +58,14 @@ struct Env {
   /// one such message with order \p O. Models a fair spin loop.
   auto spinUntil(rmc::Loc L, rmc::ValuePred Pred, rmc::MemOrder O);
 
+  // Reclamation ghost steps (simulated EBR; see rmc::Machine::pinEnter
+  // and friends). Each is a scheduler-visible step of its own so the
+  // sleep-set reduction sees its Reclaim/Free footprint.
+  auto pinEnter();
+  auto pinExit();
+  auto retire(rmc::Loc L, unsigned Count = 1);
+  auto freeCells(rmc::Loc L, unsigned Count = 1);
+
   /// Abandons this execution as a stutter (an identical retry-loop
   /// iteration that made no progress). Sound for safety checking: a
   /// stuttering iteration performs only reads and failed CASes, so every
@@ -236,6 +244,37 @@ struct FenceAwaiter : OpAwaiterBase {
   void await_resume() { E.M.fence(E.Tid, O); }
 };
 
+struct PinAwaiter : OpAwaiterBase {
+  bool Enter;
+  PinAwaiter(Env &E, bool Enter)
+      : OpAwaiterBase(E, {0, rmc::Footprint::Kind::Reclaim, false}),
+        Enter(Enter) {}
+  void await_resume() {
+    if (Enter)
+      E.M.pinEnter(E.Tid);
+    else
+      E.M.pinExit(E.Tid);
+  }
+};
+
+struct RetireAwaiter : OpAwaiterBase {
+  rmc::Loc L;
+  unsigned Count;
+  RetireAwaiter(Env &E, rmc::Loc L, unsigned Count)
+      : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Reclaim, false}), L(L),
+        Count(Count) {}
+  void await_resume() { E.M.retire(E.Tid, L, Count); }
+};
+
+struct FreeAwaiter : OpAwaiterBase {
+  rmc::Loc L;
+  unsigned Count;
+  FreeAwaiter(Env &E, rmc::Loc L, unsigned Count)
+      : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Free, false}), L(L),
+        Count(Count) {}
+  void await_resume() { E.M.freeCells(E.Tid, L, Count); }
+};
+
 struct PruneAwaiter {
   Env &E;
   explicit PruneAwaiter(Env &E) : E(E) {}
@@ -288,6 +327,14 @@ inline auto Env::spinUntil(rmc::Loc L, rmc::ValuePred Pred, rmc::MemOrder O) {
   return detail::SpinAwaiter(*this, L, std::move(Pred), O);
 }
 inline auto Env::prune() { return detail::PruneAwaiter(*this); }
+inline auto Env::pinEnter() { return detail::PinAwaiter(*this, true); }
+inline auto Env::pinExit() { return detail::PinAwaiter(*this, false); }
+inline auto Env::retire(rmc::Loc L, unsigned Count) {
+  return detail::RetireAwaiter(*this, L, Count);
+}
+inline auto Env::freeCells(rmc::Loc L, unsigned Count) {
+  return detail::FreeAwaiter(*this, L, Count);
+}
 
 } // namespace compass::sim
 

@@ -75,6 +75,7 @@ TEST(ScenarioGen, ScenariosAreWellFormed) {
             break;
           case Lib::TreiberStack:
           case Lib::ElimStack:
+          case Lib::TreiberEbr:
             EXPECT_TRUE(O.Code == OpCode::Push || O.Code == OpCode::Pop);
             break;
           case Lib::Exchanger:
@@ -351,6 +352,21 @@ TEST(MutationKill, WsDequeTakeNoFence) {
   EXPECT_TRUE(R.Rule == "INJ" || R.Rule == "CONSISTENCY") << R.str();
 }
 
+TEST(MutationKill, EbrSkipGracePeriod) {
+  // A reclamation bug, not a spec bug: the event graph stays
+  // LAT-consistent, so only the machine's lifecycle tracking can see it —
+  // the free lands while a retire-time reader is still pinned.
+  MutantReport R = expectKilled(Mutation::EbrSkipGracePeriod);
+  EXPECT_EQ(R.Rule, "PREMATURE_FREE") << R.str();
+}
+
+TEST(MutationKill, EbrEarlyUnpin) {
+  // The reader leaves the critical section before dereferencing; the
+  // node is freed under it and the access itself faults.
+  MutantReport R = expectKilled(Mutation::EbrEarlyUnpin);
+  EXPECT_EQ(R.Rule, "USE_AFTER_RETIRE") << R.str();
+}
+
 TEST(MutationKill, RunMutationTestsCoversAllMutants) {
   MutationOptions O = quickHunt();
   O.Shrink = false; // Keep this aggregate run fast; kills only.
@@ -416,6 +432,74 @@ TEST(VerdictTest, StrAndFail) {
   Verdict F = Verdict::fail("OBS", "thread 0 lied");
   EXPECT_FALSE(F.Ok);
   EXPECT_EQ(F.str(), "OBS: thread 0 lied");
+}
+
+namespace {
+
+/// Asserts the full reclamation-verdict pipeline on a hand-built
+/// scenario: exploration against \p Mut fails with verdict rule
+/// \p WantRule, the trace replays divergence-free without any reduction
+/// in the way (replay never prunes), and the verdict text survives
+/// JSON encoding through the sweep-report path.
+void expectReclamationVerdict(const Scenario &S, Mutation Mut,
+                              const char *WantRule,
+                              const char *WantDetail) {
+  std::vector<unsigned> Trace;
+  ASSERT_TRUE(scenarioFails(S, Mut, 200000, Trace))
+      << mutationName(Mut) << " not killed by " << S.str();
+  TraceDiagnosis D =
+      diagnoseTrace(S, Mut, scenarioOptions(S, 1, 1), Trace);
+  ASSERT_TRUE(D.failing()) << S.str();
+  EXPECT_FALSE(D.RR.Diverged) << "reclamation trace diverged on replay";
+  EXPECT_EQ(D.V.Rule, WantRule) << D.V.str();
+  EXPECT_NE(D.V.Detail.find(WantDetail), std::string::npos) << D.V.str();
+
+  // The canonical executed trace replays to the same verdict.
+  TraceDiagnosis D2 =
+      diagnoseTrace(S, Mut, scenarioOptions(S, 1, 1), D.Executed);
+  ASSERT_TRUE(D2.failing());
+  EXPECT_FALSE(D2.RR.Diverged);
+  EXPECT_EQ(D2.V.Rule, WantRule);
+
+  // Verdict text JSON-encodes via the sweep-report first_bad field.
+  SweepReport Rep;
+  LibSweepStats St;
+  St.L = Lib::TreiberEbr;
+  St.Violations = 1;
+  St.FirstBadScenario = 0;
+  St.FirstBad = S.str() + " -> " + D.V.str();
+  Rep.PerLib.push_back(St);
+  std::string J = Rep.json();
+  EXPECT_EQ(J.front(), '{');
+  EXPECT_EQ(J.back(), '}');
+  EXPECT_NE(J.find(WantRule), std::string::npos) << J;
+  EXPECT_NE(J.find("\"first_bad\":"), std::string::npos) << J;
+}
+
+} // namespace
+
+TEST(VerdictTest, PrematureFreeVerdictPipeline) {
+  // The shrunk corpus shape for ebr_skip_grace_period: a popper retires
+  // and drains while the pusher is still pinned.
+  Scenario S;
+  S.L = Lib::TreiberEbr;
+  S.PreemptionBound = 2;
+  S.Capacity = 6;
+  S.Threads = {{{OpCode::Pop, 0}}, {{OpCode::Push, 1}}};
+  expectReclamationVerdict(S, Mutation::EbrSkipGracePeriod,
+                           "PREMATURE_FREE", "premature free");
+}
+
+TEST(VerdictTest, UseAfterRetireVerdictPipeline) {
+  // The shrunk corpus shape for ebr_early_unpin: an unpinned reader's
+  // head snapshot is popped, retired, and freed under it.
+  Scenario S;
+  S.L = Lib::TreiberEbr;
+  S.PreemptionBound = 2;
+  S.Capacity = 6;
+  S.Threads = {{{OpCode::Push, 1}, {OpCode::Pop, 0}}, {{OpCode::Pop, 0}}};
+  expectReclamationVerdict(S, Mutation::EbrEarlyUnpin, "USE_AFTER_RETIRE",
+                           "use after retire");
 }
 
 TEST(VerdictTest, DiagnoseReportsStructuredRule) {

@@ -23,6 +23,7 @@
 #include "check/Conformance.h"
 #include "check/Shrinker.h"
 #include "lib/MsQueue.h"
+#include "lib/TreiberStackEbr.h"
 #include "spec/Consistency.h"
 #include "spec/SpecMonitor.h"
 
@@ -127,6 +128,54 @@ Workload msQueueWorkload(unsigned Workers, ReductionMode Red) {
                    R == Scheduler::RunResult::SleepPruned;
           return spec::checkQueueConsistent(St->Mon->graph(), St->Q->objId())
               .ok();
+        }};
+  });
+}
+
+Task<void> ebrPushThenPop(Env &E, lib::TreiberStackEbr &S) {
+  auto P = S.push(E, 1);
+  co_await P;
+  auto Q = S.pop(E);
+  Value V = co_await Q;
+  (void)V;
+}
+
+Task<void> ebrPopOnce(Env &E, lib::TreiberStackEbr &S) {
+  auto Q = S.tryPop(E);
+  Value V = co_await Q;
+  (void)V;
+}
+
+/// An EBR-reclaiming stack under contention: the pin/retire/advance ghost
+/// steps (Reclaim/Free footprints) must stay sound under the sleep-set
+/// reduction — a mis-declared independence would make the summary
+/// worker-count dependent or lose a reclamation fault.
+Workload ebrStackWorkload(unsigned Workers, ReductionMode Red) {
+  Explorer::Options Opts;
+  Opts.Workers = Workers;
+  Opts.PreemptionBound = 2;
+  Opts.MaxExecutions = 2'000'000;
+  Opts.Reduction = Red;
+  return Workload(Opts, []() -> Workload::Body {
+    struct State {
+      std::unique_ptr<spec::SpecMonitor> Mon;
+      std::unique_ptr<lib::TreiberStackEbr> S;
+    };
+    auto St = std::make_shared<State>();
+    return {
+        [St](Machine &M, Scheduler &S) {
+          St->Mon = std::make_unique<spec::SpecMonitor>();
+          St->S =
+              std::make_unique<lib::TreiberStackEbr>(M, *St->Mon, "s", 2);
+          Env &E0 = S.newThread();
+          S.start(E0, ebrPushThenPop(E0, *St->S));
+          Env &E1 = S.newThread();
+          S.start(E1, ebrPopOnce(E1, *St->S));
+        },
+        [](Machine &, Scheduler &, Scheduler::RunResult R) {
+          // Any reclamation fault surfaces as RunResult::Race and is
+          // counted by the summary; completed runs are fine as-is.
+          return R != Scheduler::RunResult::Race;
         }};
   });
 }
@@ -322,6 +371,43 @@ TEST(ReductionDeterminism, ReducedMpLitmusAcrossWorkers) {
                           ReductionMode::SleepSet);
       },
       "MP rlx reduced");
+}
+
+TEST(ReductionDeterminism, ReducedEbrStackAcrossWorkers) {
+  // Summary core (including SleepPruned and Races) bit-identical at
+  // 1/2/4 workers on the reclamation workload...
+  auto S1 = explore(ebrStackWorkload(1, ReductionMode::SleepSet));
+  auto S2 = explore(ebrStackWorkload(2, ReductionMode::SleepSet));
+  auto S4 = explore(ebrStackWorkload(4, ReductionMode::SleepSet));
+  expectReconciled(S1, "EBR stack reduced");
+  EXPECT_EQ(S1.Races, 0u) << "pristine EBR stack faulted: " << S1.str();
+  EXPECT_EQ(S1.Violations, 0u) << S1.str();
+  EXPECT_GT(S1.SleepPruned, 0u) << "reduction never fired: " << S1.str();
+  EXPECT_TRUE(S1.coreEquals(S2))
+      << "serial:   " << S1.str() << "\n2-worker: " << S2.str();
+  EXPECT_TRUE(S1.coreEquals(S4))
+      << "serial:   " << S1.str() << "\n4-worker: " << S4.str();
+
+  // ... and the reduced sweep fingerprint over *generated* treiber_ebr
+  // scenarios is worker-count independent too.
+  auto Run = [](unsigned Workers) {
+    check::SweepOptions O;
+    O.Seed = 7;
+    O.ScenariosPerLib = 4;
+    O.Workers = Workers;
+    O.MaxExecutionsPerScenario = 40000;
+    O.Reduction = ReductionMode::SleepSet;
+    O.Libs = {check::Lib::TreiberEbr};
+    return check::runSweep(O);
+  };
+  check::SweepReport R1 = Run(1);
+  check::SweepReport R2 = Run(2);
+  check::SweepReport R4 = Run(4);
+  EXPECT_TRUE(R1.clean()) << R1.str();
+  EXPECT_EQ(R1.fingerprint(), R2.fingerprint())
+      << "serial:\n" << R1.str() << "2 workers:\n" << R2.str();
+  EXPECT_EQ(R1.fingerprint(), R4.fingerprint())
+      << "serial:\n" << R1.str() << "4 workers:\n" << R4.str();
 }
 
 TEST(ReductionDeterminism, ReducedSweepFingerprintAcrossWorkers) {

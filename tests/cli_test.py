@@ -68,6 +68,9 @@ def main():
     expect_usage_error("unknown flag", "sweep", "--frobnicate")
     expect_usage_error("unknown command", "frobnicate")
     expect_usage_error("bad lib name", "sweep", "--lib", "no_such_lib")
+    expect_usage_error("lib name close miss", "sweep", "--lib", "treiber_ebr ")
+    expect_usage_error("bad mutation name", "mutants", "--mut",
+                       "ebr_skip_grace")
     expect_usage_error("bad reduction", "sweep", "--reduction", "magic")
     p = run("sweep", "--resume", "/nonexistent/ckpt")
     check("missing resume file exits 2 with diagnostic",
@@ -78,6 +81,12 @@ def main():
             "--max-execs", "2000", "--lib", "ms_queue")
     check("valid sweep runs", p.returncode == 0, p)
     check("valid sweep prints fingerprint", "fingerprint" in p.stdout, p)
+
+    p = run("sweep", "--seed", "3", "--per-lib", "1", "--workers", "1",
+            "--max-execs", "2000", "--lib", "treiber_ebr", timeout=300)
+    check("treiber_ebr sweep runs", p.returncode == 0, p)
+    check("treiber_ebr sweep names the library", "treiber_ebr" in p.stdout, p)
+    check("treiber_ebr sweep prints fingerprint", "fingerprint" in p.stdout, p)
 
     p = run("sweep", "--seed", "3", "--per-lib", "1", "--workers", "2",
             "--max-execs", "2000", "--lib", "ms_queue",
