@@ -143,14 +143,16 @@ Workload sbWorkload(unsigned Workers) {
   Explorer::Options Opts;
   Opts.Workers = Workers;
   return Workload(Opts, []() -> Workload::Body {
-    return {[](Machine &M, Scheduler &S) {
-              Loc X = M.alloc("x"), Y = M.alloc("y");
-              Env &E0 = S.newThread();
-              S.start(E0, sbThread(E0, X, Y));
-              Env &E1 = S.newThread();
-              S.start(E1, sbThread(E1, Y, X));
-            },
-            nullptr};
+    Workload::Body B{[](Machine &M, Scheduler &S) {
+      Loc X = M.alloc("x"), Y = M.alloc("y");
+      Env &E0 = S.newThread();
+      S.start(E0, sbThread(E0, X, Y));
+      Env &E1 = S.newThread();
+      S.start(E1, sbThread(E1, Y, X));
+    }};
+    B.CowSafe = true; // No state outside the machine and coroutine locals.
+    B.CowSkipFinished = true;
+    return B;
   });
 }
 
@@ -158,14 +160,16 @@ Workload mpWorkload(unsigned Workers) {
   Explorer::Options Opts;
   Opts.Workers = Workers;
   return Workload(Opts, []() -> Workload::Body {
-    return {[](Machine &M, Scheduler &S) {
-              Loc X = M.alloc("x"), F = M.alloc("f");
-              Env &E0 = S.newThread();
-              S.start(E0, mpWriterT(E0, X, F));
-              Env &E1 = S.newThread();
-              S.start(E1, mpReaderT(E1, X, F));
-            },
-            nullptr};
+    Workload::Body B{[](Machine &M, Scheduler &S) {
+      Loc X = M.alloc("x"), F = M.alloc("f");
+      Env &E0 = S.newThread();
+      S.start(E0, mpWriterT(E0, X, F));
+      Env &E1 = S.newThread();
+      S.start(E1, mpReaderT(E1, X, F));
+    }};
+    B.CowSafe = true; // No state outside the machine and coroutine locals.
+    B.CowSkipFinished = true;
+    return B;
   });
 }
 
@@ -186,25 +190,50 @@ Workload msQueueWorkload(unsigned Workers, uint64_t MaxExecutions,
       std::vector<Value> Got0, Got1;
     };
     auto St = std::make_shared<State>();
-    return {[St](Machine &M, Scheduler &S) {
-              St->Mon = std::make_unique<spec::SpecMonitor>();
-              St->Q = std::make_unique<lib::MsQueue>(M, *St->Mon, "q");
-              St->Got0.clear();
-              St->Got1.clear();
-              Env &E0 = S.newThread();
-              S.start(E0, bench::enqueuer(E0, *St->Q, {1, 2}));
-              Env &E1 = S.newThread();
-              S.start(E1, bench::dequeuer(E1, *St->Q, 1, &St->Got0));
-              Env &E2 = S.newThread();
-              S.start(E2, bench::dequeuer(E2, *St->Q, 1, &St->Got1));
-            },
-            [St](Machine &, Scheduler &, Scheduler::RunResult R) {
-              if (R != Scheduler::RunResult::Done)
-                return true; // deadlocks/limits are counted, not violations
-              return spec::checkQueueConsistent(St->Mon->graph(),
-                                                St->Q->objId())
-                  .ok();
-            }};
+    Workload::Body B{[St](Machine &M, Scheduler &S) {
+                       if (!St->Mon)
+                         St->Mon = std::make_unique<spec::SpecMonitor>();
+                       St->Mon->beginExecution(M);
+                       St->Q = std::make_unique<lib::MsQueue>(M, *St->Mon, "q");
+                       St->Got0.clear();
+                       St->Got1.clear();
+                       Env &E0 = S.newThread();
+                       S.start(E0, bench::enqueuer(E0, *St->Q, {1, 2}));
+                       Env &E1 = S.newThread();
+                       S.start(E1, bench::dequeuer(E1, *St->Q, 1, &St->Got0));
+                       Env &E2 = S.newThread();
+                       S.start(E2, bench::dequeuer(E2, *St->Q, 1, &St->Got1));
+                     },
+                     [St](Machine &, Scheduler &, Scheduler::RunResult R) {
+                       if (R != Scheduler::RunResult::Done)
+                         return true; // deadlocks/limits counted, not failed
+                       return spec::checkQueueConsistent(St->Mon->graph(),
+                                                         St->Q->objId())
+                           .ok();
+                     }};
+    // The cross-step client state is the monitor plus the Got vectors
+    // (the queue object is rebuilt by Setup). Restoring Got after the
+    // fast-forward also covers finished-thread skipping.
+    struct CowState {
+      spec::SpecMonitor::Epoch MonEpoch;
+      std::vector<Value> Got0, Got1;
+    };
+    B.CowSave = [St](std::shared_ptr<void> &Slot) {
+      if (!Slot)
+        Slot = std::make_shared<CowState>();
+      auto &C = *std::static_pointer_cast<CowState>(Slot);
+      C.MonEpoch = St->Mon->epoch();
+      C.Got0 = St->Got0;
+      C.Got1 = St->Got1;
+    };
+    B.CowRestore = [St](const std::shared_ptr<void> &Slot) {
+      const auto &C = *std::static_pointer_cast<CowState>(Slot);
+      St->Mon->trimToEpoch(C.MonEpoch);
+      St->Got0 = C.Got0;
+      St->Got1 = C.Got1;
+    };
+    B.CowSkipFinished = true;
+    return B;
   });
 }
 
@@ -226,25 +255,47 @@ Workload lockedQueueWorkload(unsigned Workers, ReductionMode Red,
       std::vector<Value> Got0, Got1;
     };
     auto St = std::make_shared<State>();
-    return {[St](Machine &M, Scheduler &S) {
-              St->Mon = std::make_unique<spec::SpecMonitor>();
-              St->Q = std::make_unique<lib::LockedQueue>(M, *St->Mon, "q", 16);
-              St->Got0.clear();
-              St->Got1.clear();
-              Env &E0 = S.newThread();
-              S.start(E0, bench::enqueuer(E0, *St->Q, {1, 2}));
-              Env &E1 = S.newThread();
-              S.start(E1, bench::dequeuer(E1, *St->Q, 1, &St->Got0));
-              Env &E2 = S.newThread();
-              S.start(E2, bench::dequeuer(E2, *St->Q, 1, &St->Got1));
-            },
-            [St](Machine &, Scheduler &, Scheduler::RunResult R) {
-              if (R != Scheduler::RunResult::Done)
-                return true;
-              return spec::checkQueueConsistent(St->Mon->graph(),
-                                                St->Q->objId())
-                  .ok();
-            }};
+    Workload::Body B{
+        [St](Machine &M, Scheduler &S) {
+          if (!St->Mon)
+                         St->Mon = std::make_unique<spec::SpecMonitor>();
+                       St->Mon->beginExecution(M);
+          St->Q = std::make_unique<lib::LockedQueue>(M, *St->Mon, "q", 16);
+          St->Got0.clear();
+          St->Got1.clear();
+          Env &E0 = S.newThread();
+          S.start(E0, bench::enqueuer(E0, *St->Q, {1, 2}));
+          Env &E1 = S.newThread();
+          S.start(E1, bench::dequeuer(E1, *St->Q, 1, &St->Got0));
+          Env &E2 = S.newThread();
+          S.start(E2, bench::dequeuer(E2, *St->Q, 1, &St->Got1));
+        },
+        [St](Machine &, Scheduler &, Scheduler::RunResult R) {
+          if (R != Scheduler::RunResult::Done)
+            return true;
+          return spec::checkQueueConsistent(St->Mon->graph(), St->Q->objId())
+              .ok();
+        }};
+    struct CowState {
+      spec::SpecMonitor::Epoch MonEpoch;
+      std::vector<Value> Got0, Got1;
+    };
+    B.CowSave = [St](std::shared_ptr<void> &Slot) {
+      if (!Slot)
+        Slot = std::make_shared<CowState>();
+      auto &C = *std::static_pointer_cast<CowState>(Slot);
+      C.MonEpoch = St->Mon->epoch();
+      C.Got0 = St->Got0;
+      C.Got1 = St->Got1;
+    };
+    B.CowRestore = [St](const std::shared_ptr<void> &Slot) {
+      const auto &C = *std::static_pointer_cast<CowState>(Slot);
+      St->Mon->trimToEpoch(C.MonEpoch);
+      St->Got0 = C.Got0;
+      St->Got1 = C.Got1;
+    };
+    B.CowSkipFinished = true;
+    return B;
   });
 }
 

@@ -9,6 +9,10 @@ stays 0, so a noisy CI runner cannot block a merge. Pass --strict to turn
 regressions into a nonzero exit (for local perf work).
 
 Robustness contract (pinned by --self-test):
+  * multi-worker scaling rows are exempt from regression checks when the
+    fresh run's machine has fewer hardware threads than the row's worker
+    count (an oversubscribed run measures scheduler thrash, not the
+    engine — its "speedup" is noise by construction);
   * rows missing a key field (workload/workers/reduction) are reported
     and skipped, never a KeyError;
   * a zero, null, or missing baseline metric reports "no usable
@@ -71,7 +75,31 @@ def fmt_key(key):
     return f"{workload} [{unit}={variant}]"
 
 
-def compare(new, base, threshold, strict):
+def hardware_threads(report):
+    """The fresh run's hardware thread count, or None when absent/bogus."""
+    if not isinstance(report, dict):
+        return None
+    v = report.get("hardware_threads")
+    if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 1:
+        return None
+    return int(v)
+
+
+def oversubscribed(key, hw):
+    """True for a multi-worker scaling row run on a machine with fewer
+    hardware threads than workers: its throughput measures scheduler
+    thrash, not the engine, so it is exempt from regression checks."""
+    kind, _workload, variant = key
+    if kind != "scaling" or hw is None:
+        return False
+    try:
+        workers = int(variant)
+    except ValueError:
+        return False
+    return workers > 1 and workers > hw
+
+
+def compare(new, base, threshold, strict, hw=None):
     """Core comparison over two key->row maps; returns the exit code."""
     regressions = []
     improvements = []
@@ -79,6 +107,10 @@ def compare(new, base, threshold, strict):
         nrow = new.get(key)
         if nrow is None:
             print(f"  removed (no new row): {fmt_key(key)}")
+            continue
+        if oversubscribed(key, hw):
+            print(f"  skipped (oversubscribed: {fmt_key(key)} on "
+                  f"{hw} hardware thread{'s' if hw != 1 else ''})")
             continue
         b, n = metric(brow), metric(nrow)
         if b is None:
@@ -148,7 +180,8 @@ def self_test():
         with contextlib.redirect_stdout(buf):
             code = compare(rows_by_key(new_report, "new"),
                            rows_by_key(base_report, "baseline"),
-                           threshold, strict)
+                           threshold, strict,
+                           hw=hardware_threads(new_report))
         return code, buf.getvalue()
 
     def row(workload, workers, eps):
@@ -213,6 +246,32 @@ def self_test():
     code, out = run([1, 2, 3], base)
     check("non-object report exits 0", code == 0)
 
+    # 8. Oversubscribed scaling rows (workers > the fresh run's hardware
+    #    threads) are exempt from regression checks even under --strict;
+    #    serial rows and reduction rows on the same machine still count.
+    one_core_slow = {"hardware_threads": 1,
+                     "rows": [row("queue", 1, 1000.0),
+                              row("queue", 4, 100.0)],
+                     "reduction_rows": base["reduction_rows"]}
+    one_core_base = {"rows": [row("queue", 1, 1000.0),
+                              row("queue", 4, 1900.0)],
+                     "reduction_rows": base["reduction_rows"]}
+    code, out = run(one_core_slow, one_core_base, strict=True)
+    check("oversubscribed regression exits 0", code == 0)
+    check("oversubscribed row reported skipped",
+          "skipped (oversubscribed" in out)
+    serial_slow = {"hardware_threads": 1,
+                   "rows": [row("queue", 1, 100.0),
+                            row("queue", 4, 1900.0)],
+                   "reduction_rows": base["reduction_rows"]}
+    code, out = run(serial_slow, one_core_base, strict=True)
+    check("serial regression still strict-fails on 1 core", code == 1)
+    plenty = {"hardware_threads": 8,
+              "rows": [row("queue", 1, 1000.0), row("queue", 4, 100.0)],
+              "reduction_rows": base["reduction_rows"]}
+    code, out = run(plenty, one_core_base, strict=True)
+    check("4-worker regression counts with 8 hardware threads", code == 1)
+
     if failures:
         print(f"\nself-test FAILED: {len(failures)} check(s)")
         return 1
@@ -250,9 +309,11 @@ def main():
     if args.new is None or args.baseline is None:
         ap.error("NEW and BASELINE are required unless --self-test is given")
 
-    new = rows_by_key(load_report(args.new), "new")
+    new_report = load_report(args.new)
+    new = rows_by_key(new_report, "new")
     base = rows_by_key(load_report(args.baseline), "baseline")
-    return compare(new, base, args.threshold, args.strict)
+    return compare(new, base, args.threshold, args.strict,
+                   hw=hardware_threads(new_report))
 
 
 if __name__ == "__main__":

@@ -205,7 +205,13 @@ sim::Task<void> opThread(ContainerAdapter &A, std::vector<Op> Ops,
 /// Setup/Check pair over one RunState (shared per body instantiation).
 sim::Workload::Body bodyFor(std::shared_ptr<RunState> St) {
   sim::Workload::SetupFn Setup = [St](rmc::Machine &M, sim::Scheduler &Sch) {
-    St->Mon = std::make_unique<spec::SpecMonitor>();
+    // The monitor is reused across executions (reset, not reallocated), so
+    // its graph vectors reach steady-state capacity once. beginExecution
+    // keeps the graph intact during a copy-on-write fast-forward; the
+    // engine epoch-trims it afterwards (see CowSave below).
+    if (!St->Mon)
+      St->Mon = std::make_unique<spec::SpecMonitor>();
+    St->Mon->beginExecution(M);
     St->A = std::make_unique<ContainerAdapter>(St->S, St->Mut, M, *St->Mon);
     St->Results.assign(St->S.Threads.size(), {});
     for (size_t T = 0; T != St->S.Threads.size(); ++T) {
@@ -250,7 +256,38 @@ sim::Workload::Body bodyFor(std::shared_ptr<RunState> St) {
     St->LastVerdict = V;
     return V.Ok;
   };
-  return {std::move(Setup), std::move(Check)};
+  sim::Workload::Body B{std::move(Setup), std::move(Check)};
+  // Copy-on-write eligibility: the cross-step state outside the machine
+  // and coroutine locals is the spec monitor plus the per-thread Results
+  // vectors. The monitor's event graph is append-only with an undo
+  // journal, so a snapshot is an O(1) epoch and a restore an O(delta)
+  // trim — no deep copies; Results are small and copied wholesale (the
+  // restore runs after the fast-forward, so it also overwrites the
+  // partial re-pushes of replayed threads). The adapter is rebuilt by
+  // Setup; the verdict fields are written only at Check time.
+  struct CowState {
+    spec::SpecMonitor::Epoch MonEpoch;
+    std::vector<std::vector<Observed>> Results;
+  };
+  B.CowSave = [St](std::shared_ptr<void> &Slot) {
+    if (!Slot)
+      Slot = std::make_shared<CowState>();
+    auto &C = *std::static_pointer_cast<CowState>(Slot);
+    C.MonEpoch = St->Mon->epoch();
+    C.Results = St->Results;
+  };
+  B.CowRestore = [St](const std::shared_ptr<void> &Slot) {
+    const auto &C = *std::static_pointer_cast<CowState>(Slot);
+    St->Mon->trimToEpoch(C.MonEpoch);
+    St->Results = C.Results;
+  };
+  // Finished-thread skipping: a finished scenario thread's only client
+  // effects are its Results entries (restored above) — except when the
+  // library itself keeps op-time C++ state that other threads' re-run
+  // steps read: the EBR wrapper's ghost retire bins and the work-stealing
+  // deque's owner shadow map.
+  B.CowSkipFinished = St->S.L != Lib::TreiberEbr && St->S.L != Lib::WsDeque;
+  return B;
 }
 
 } // namespace

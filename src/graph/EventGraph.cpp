@@ -22,6 +22,7 @@ void EventGraph::commit(EventId Id, Event E) {
   E.CommitIdx = NextCommitIdx++;
   Events[Id] = std::move(E);
   States[Id] = State::Committed;
+  UndoLog.push_back(Id);
   assert(Events[Id].Kind != OpKind::Invalid && "committing an empty event");
 }
 
@@ -29,6 +30,21 @@ void EventGraph::retract(EventId Id) {
   if (Id >= Events.size() || States[Id] != State::Reserved)
     fatalError("retract of an id that is not reserved");
   States[Id] = State::Retracted;
+  UndoLog.push_back(Id);
+}
+
+void EventGraph::trimToEpoch(const Epoch &E) {
+  assert(E.UndoMark <= UndoLog.size() && "epoch from a different timeline");
+  for (size_t I = UndoLog.size(); I > E.UndoMark; --I) {
+    EventId Id = UndoLog[I - 1];
+    if (Id < E.NumEvents)
+      States[Id] = State::Reserved;
+  }
+  UndoLog.resize(E.UndoMark);
+  Events.resize(E.NumEvents);
+  States.resize(E.NumEvents, State::Reserved);
+  So.resize(E.NumSo);
+  NextCommitIdx = E.NextCommit;
 }
 
 void EventGraph::addRaw(EventId Id, Event E) {

@@ -46,6 +46,36 @@ struct SoEdge {
 /// The (global) event graph; see file comment.
 class EventGraph {
 public:
+  /// Rewinds to the empty graph, keeping vector capacity for reuse.
+  void reset() {
+    Events.clear();
+    States.clear();
+    So.clear();
+    UndoLog.clear();
+    NextCommitIdx = 0;
+  }
+
+  /// A point in this graph's mutation history, for the copy-on-write
+  /// engine (sim/Engine.h). Capturing one is O(1); trimToEpoch rewinds
+  /// to it touching only state created after the mark. Epochs pop LIFO
+  /// along the DFS path, mirroring rmc::Memory::Epoch.
+  struct Epoch {
+    size_t NumEvents = 0;
+    size_t NumSo = 0;
+    uint32_t NextCommit = 0;
+    size_t UndoMark = 0;
+  };
+
+  Epoch epoch() const {
+    return {Events.size(), So.size(), NextCommitIdx, UndoLog.size()};
+  }
+
+  /// Rewinds to \p E: ids reserved after the mark are dropped; ids
+  /// reserved before but committed/retracted after revert to Reserved
+  /// (their event payload may hold garbage, exactly as a fresh
+  /// reservation's does); so edges and commit indices rewind with them.
+  void trimToEpoch(const Epoch &E);
+
   /// Allocates a fresh id in Reserved state.
   EventId reserve();
 
@@ -113,6 +143,9 @@ private:
   std::vector<State> States;
   std::vector<SoEdge> So;
   uint32_t NextCommitIdx = 0;
+  /// Ids whose state left Reserved (commit or retract), in order; popping
+  /// one reverts the id to Reserved. Truncations handle everything else.
+  std::vector<EventId> UndoLog;
 };
 
 } // namespace compass::graph

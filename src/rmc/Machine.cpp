@@ -9,6 +9,15 @@
 using namespace compass;
 using namespace compass::rmc;
 
+// Trace lines are assembled from std::string temporaries; guard every call
+// site so the untraced hot path (the explorer runs millions of executions
+// with tracing off) never materializes them.
+#define COMPASS_TRACE(T, Expr)                                                 \
+  do {                                                                         \
+    if (Tracing)                                                               \
+      traceOp((T), (Expr));                                                    \
+  } while (0)
+
 Knowledge &Machine::ThreadState::relSlot(Loc L) {
   for (size_t I = 0; I != RelLive; ++I)
     if (Rel[I].L == L)
@@ -52,8 +61,108 @@ void Machine::reset() {
   FaultRule = "RACE";
   Trace.clear();
   LastFp = Footprint();
+  Replaying = false;
+  ReadTsLog.clear();
+  ReadTsCursor = 0;
+  ReadKnowLog.clear();
+  ReadKnowCursor = 0;
+  ReserveSeq = 0;
   // Counters and OpSeqN are monotonic across resets by design; Tracing is
   // sticky (the caller that enabled it keeps it).
+}
+
+//===----------------------------------------------------------------------===//
+// Copy-on-write support
+//===----------------------------------------------------------------------===//
+
+void Machine::beginReplay() {
+  Replaying = true;
+  ReadTsCursor = 0;
+  ReadKnowCursor = 0;
+  ReserveSeq = 0;
+  Mem.beginReplayAlloc();
+  // Threads re-register densely during Setup; their retained states are
+  // garbage until restoreSnapshot overwrites them.
+  LiveThreads = 0;
+}
+
+void Machine::endReplay(const AuxMark &Boundary) {
+  if (ReadTsCursor != Boundary.ReadTs ||
+      ReadKnowCursor != Boundary.ReadKnow ||
+      ReserveSeq != Boundary.Reserves)
+    fatalError("copy-on-write fast-forward diverged: last-read query "
+               "journals out of sync with the snapshot boundary");
+  ReadTsLog.resize(Boundary.ReadTs);
+  ReadKnowLog.resize(Boundary.ReadKnow);
+  Replaying = false;
+  Mem.setReplayAlloc(false);
+}
+
+void Machine::saveSnapshot(Snap &S, unsigned FixTid, const View *FixCur,
+                           const View *FixAcq) const {
+  S.LiveThreads = LiveThreads;
+  if (S.Threads.size() < LiveThreads)
+    S.Threads.resize(LiveThreads);
+  for (size_t T = 0; T != LiveThreads; ++T) {
+    const ThreadState &TS = Threads[T];
+    ThreadSnap &Out = S.Threads[T];
+    Out.Cur = TS.Cur;
+    Out.Acq = TS.Acq;
+    Out.RelFence = TS.RelFence;
+    if (Out.Rel.size() < TS.RelLive)
+      Out.Rel.resize(TS.RelLive);
+    for (size_t I = 0; I != TS.RelLive; ++I) {
+      Out.Rel[I].first = TS.Rel[I].L;
+      Out.Rel[I].second = TS.Rel[I].K;
+    }
+    Out.RelLive = TS.RelLive;
+    Out.HasRead = TS.HasRead;
+    Out.LastReadLoc = TS.LastReadLoc;
+    Out.LastReadTs = TS.LastReadTs;
+    Out.Pinned = TS.Pinned;
+    Out.PinSession = TS.PinSession;
+    if (T == FixTid) {
+      // Mid-operation snapshot: undo this step's SC pre-join (the only
+      // pre-choice mutation) so the snapshot is boundary-exact.
+      if (FixCur)
+        Out.Cur.Phys = *FixCur;
+      if (FixAcq)
+        Out.Acq.Phys = *FixAcq;
+    }
+  }
+  S.ScPhys = ScPhys;
+  S.MemEpoch = Mem.epoch();
+  S.Aux = auxMark();
+}
+
+void Machine::restoreSnapshot(const Snap &S) {
+  if (LiveThreads != S.LiveThreads)
+    fatalError("copy-on-write restore: thread count diverged from snapshot");
+  for (size_t T = 0; T != LiveThreads; ++T) {
+    const ThreadSnap &In = S.Threads[T];
+    ThreadState &TS = Threads[T];
+    TS.Cur = In.Cur;
+    TS.Acq = In.Acq;
+    TS.RelFence = In.RelFence;
+    if (TS.Rel.size() < In.RelLive)
+      TS.Rel.resize(In.RelLive);
+    for (size_t I = 0; I != In.RelLive; ++I) {
+      TS.Rel[I].L = In.Rel[I].first;
+      TS.Rel[I].K = In.Rel[I].second;
+    }
+    TS.RelLive = In.RelLive;
+    TS.HasRead = In.HasRead;
+    TS.LastReadLoc = In.LastReadLoc;
+    TS.LastReadTs = In.LastReadTs;
+    TS.Pinned = In.Pinned;
+    TS.PinSession = In.PinSession;
+  }
+  ScPhys = S.ScPhys;
+  // A snapshot boundary is a step the execution passed without a pending
+  // fault, so fault state restores to the constant no-fault value.
+  Raced = false;
+  RaceMsg.clear();
+  FaultRule = "RACE";
 }
 
 Machine::ThreadState &Machine::thread(unsigned T) {
@@ -77,16 +186,31 @@ const Knowledge &Machine::threadCur(unsigned T) const {
 Knowledge &Machine::threadAcq(unsigned T) { return thread(T).Acq; }
 
 const Knowledge &Machine::lastReadKnowledge(unsigned T) const {
+  if (Replaying) {
+    if (ReadKnowCursor >= ReadKnowLog.size())
+      fatalError("lastReadKnowledge journal underrun during fast-forward");
+    auto [L, Ts] = ReadKnowLog[ReadKnowCursor++];
+    // The prefix's messages are still in memory (replay-alloc preserves
+    // histories), so the journaled coordinates resolve to the same view.
+    return Mem.cell(L).know(Ts);
+  }
   const ThreadState &TS = thread(T);
   if (!TS.HasRead)
     fatalError("lastReadKnowledge: thread has not performed a read");
-  return Mem.cell(TS.LastReadLoc).History[TS.LastReadTs].Know;
+  ReadKnowLog.push_back({TS.LastReadLoc, TS.LastReadTs});
+  return Mem.cell(TS.LastReadLoc).know(TS.LastReadTs);
 }
 
 Timestamp Machine::lastReadTs(unsigned T) const {
+  if (Replaying) {
+    if (ReadTsCursor >= ReadTsLog.size())
+      fatalError("lastReadTs journal underrun during fast-forward");
+    return ReadTsLog[ReadTsCursor++];
+  }
   const ThreadState &TS = thread(T);
   if (!TS.HasRead)
     fatalError("lastReadTs: thread has not performed a read");
+  ReadTsLog.push_back(TS.LastReadTs);
   return TS.LastReadTs;
 }
 
@@ -100,7 +224,7 @@ void Machine::reportFault(const char *Rule, std::string Msg) {
 
 void Machine::reportRace(unsigned T, Loc L, const char *What) {
   reportFault("RACE", "data race: thread " + std::to_string(T) + " " +
-                          What + " on '" + Mem.cell(L).Name +
+                          What + " on '" + Mem.cellName(L) +
                           "' without having observed all writes to it");
 }
 
@@ -109,28 +233,27 @@ void Machine::checkNotFreed(unsigned T, Loc L, const char *What) {
   if (C.Life == CellLife::Freed)
     reportFault("USE_AFTER_RETIRE",
                 "use after retire: thread " + std::to_string(T) + " " +
-                    What + " on '" + C.Name +
+                    What + " on '" + Mem.cellName(L) +
                     "', which was retired and freed before the access");
 }
 
 void Machine::traceOp(unsigned T, const std::string &Line) {
-  if (Tracing)
-    Trace.push_back("T" + std::to_string(T) + ": " + Line);
+  Trace.push_back("T" + std::to_string(T) + ": " + Line);
 }
 
-void Machine::applyRead(ThreadState &TS, Loc L, const Message &M,
-                        MemOrder O) {
+void Machine::applyRead(ThreadState &TS, Loc L, const Cell &C,
+                        Timestamp Ts, MemOrder O) {
   // Every atomic read raises the per-location component of cur and folds
   // the message into acq; acquire reads fold it into cur as well
   // (ACQ-READ, Section 2.3).
-  TS.Cur.Phys.raise(L, M.Ts);
-  TS.Acq.Phys.raise(L, M.Ts);
-  TS.Acq.joinWith(M.Know);
+  TS.Cur.Phys.raise(L, Ts);
+  TS.Acq.Phys.raise(L, Ts);
+  TS.Acq.joinWith(C.know(Ts));
   if (isAcquire(O))
-    TS.Cur.joinWith(M.Know);
+    TS.Cur.joinWith(C.know(Ts));
   TS.HasRead = true;
   TS.LastReadLoc = L;
-  TS.LastReadTs = M.Ts;
+  TS.LastReadTs = Ts;
 }
 
 const Knowledge &Machine::relView(const ThreadState &TS, Loc L) {
@@ -142,15 +265,15 @@ const Knowledge &Machine::relView(const ThreadState &TS, Loc L) {
 
 Timestamp Machine::applyWrite(unsigned T, ThreadState &TS, Loc L, Value V,
                               Knowledge MsgK, bool Release) {
-  const Message &M = Mem.append(L, V, std::move(MsgK), T);
+  Timestamp Ts = Mem.append(L, V, MsgK, T);
   // The message's view includes the write itself (REL-WRITE's
   // `h[t ↦ (v, V')]` with `t ∈ V'`).
-  Mem.cell(L).History.back().Know.Phys.raise(L, M.Ts);
-  Timestamp Ts = M.Ts;
+  Knowledge &K = Mem.knowRef(L, Ts);
+  K.Phys.raise(L, Ts);
   TS.Cur.Phys.raise(L, Ts);
   TS.Acq.Phys.raise(L, Ts);
   if (Release)
-    TS.relSlot(L) = Mem.cell(L).History.back().Know;
+    TS.relSlot(L) = K;
   return Ts;
 }
 
@@ -164,11 +287,17 @@ Value Machine::load(unsigned T, Loc L, MemOrder O) {
   if (O == MemOrder::NonAtomic) {
     if (TS.Cur.Phys.get(L) != C.latestTs())
       reportRace(T, L, "non-atomic read");
-    traceOp(T, "ld.na " + C.Name + " -> " +
-                   std::to_string(C.latest().Val));
-    return C.latest().Val;
+    COMPASS_TRACE(T, "ld.na " + Mem.cellName(L) + " -> " +
+                         std::to_string(C.latestVal()));
+    return C.latestVal();
   }
 
+  if (ScratchOn) {
+    // Boundary scratch for a mid-operation snapshot (see Machine.h): the
+    // SC pre-join below is the only pre-choice thread-view mutation.
+    PickCurScratch = TS.Cur.Phys;
+    PickAcqScratch = TS.Acq.Phys;
+  }
   if (O == MemOrder::SeqCst) {
     TS.Cur.Phys.joinWith(ScPhys);
     TS.Acq.Phys.joinWith(ScPhys);
@@ -178,13 +307,15 @@ Value Machine::load(unsigned T, Loc L, MemOrder O) {
   unsigned N = Mem.countReadableFrom(L, From);
   unsigned Pick = N == 1 ? 0 : Choices.choose(N, "load");
   // Choice 0 reads the newest message; choice N-1 the oldest readable.
-  const Message &M = C.History[C.latestTs() - Pick];
-  applyRead(TS, L, M, O);
+  Timestamp Ts = C.latestTs() - Pick;
+  applyRead(TS, L, C, Ts, O);
   if (O == MemOrder::SeqCst)
     ScPhys.joinWith(TS.Cur.Phys);
-  traceOp(T, std::string("ld.") + memOrderName(O) + " " + C.Name + " -> " +
-                 std::to_string(M.Val) + " @t" + std::to_string(M.Ts));
-  return M.Val;
+  COMPASS_TRACE(T, std::string("ld.") + memOrderName(O) + " " +
+                       Mem.cellName(L) + " -> " +
+                       std::to_string(C.val(Ts)) + " @t" +
+                       std::to_string(Ts));
+  return C.val(Ts);
 }
 
 Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
@@ -196,6 +327,10 @@ Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
   checkNotFreed(T, L, "conditional load");
   assert(O != MemOrder::NonAtomic && "conditional loads must be atomic");
 
+  if (ScratchOn) {
+    PickCurScratch = TS.Cur.Phys;
+    PickAcqScratch = TS.Acq.Phys;
+  }
   if (O == MemOrder::SeqCst) {
     TS.Cur.Phys.joinWith(ScPhys);
     TS.Acq.Phys.joinWith(ScPhys);
@@ -206,7 +341,7 @@ Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
   SmallVec<Timestamp, 16> &Candidates = CandScratch;
   Candidates.clear();
   for (Timestamp Ts = C.latestTs() + 1; Ts-- > From;)
-    if (Pred(C.History[Ts].Val))
+    if (Pred(C.val(Ts)))
       Candidates.push_back(Ts);
   if (Candidates.empty())
     fatalError("loadWhere: no readable message satisfies the predicate");
@@ -215,14 +350,15 @@ Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
                       : Choices.choose(
                             static_cast<unsigned>(Candidates.size()),
                             "load-where");
-  const Message &M = C.History[Candidates[Pick]];
-  applyRead(TS, L, M, O);
+  Timestamp Ts = Candidates[Pick];
+  applyRead(TS, L, C, Ts, O);
   if (O == MemOrder::SeqCst)
     ScPhys.joinWith(TS.Cur.Phys);
-  traceOp(T, std::string("ld-wait.") + memOrderName(O) + " " + C.Name +
-                 " -> " + std::to_string(M.Val) + " @t" +
-                 std::to_string(M.Ts));
-  return M.Val;
+  COMPASS_TRACE(T, std::string("ld-wait.") + memOrderName(O) + " " +
+                       Mem.cellName(L) + " -> " +
+                       std::to_string(C.val(Ts)) + " @t" +
+                       std::to_string(Ts));
+  return C.val(Ts);
 }
 
 bool Machine::anyReadableSatisfies(unsigned T, Loc L,
@@ -230,7 +366,7 @@ bool Machine::anyReadableSatisfies(unsigned T, Loc L,
   const ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   for (Timestamp Ts = TS.Cur.Phys.get(L); Ts <= C.latestTs(); ++Ts)
-    if (Pred(C.History[Ts].Val))
+    if (Pred(C.val(Ts)))
       return true;
   return false;
 }
@@ -247,7 +383,8 @@ void Machine::store(unsigned T, Loc L, Value V, MemOrder O) {
       reportRace(T, L, "non-atomic write");
     // Non-atomic messages transfer no knowledge.
     applyWrite(T, TS, L, V, Knowledge(), /*Release=*/false);
-    traceOp(T, "st.na " + C.Name + " := " + std::to_string(V));
+    COMPASS_TRACE(T, "st.na " + Mem.cellName(L) + " := " +
+                         std::to_string(V));
     return;
   }
 
@@ -256,8 +393,8 @@ void Machine::store(unsigned T, Loc L, Value V, MemOrder O) {
   applyWrite(T, TS, L, V, std::move(MsgK), Release);
   if (O == MemOrder::SeqCst)
     ScPhys.joinWith(TS.Cur.Phys);
-  traceOp(T, std::string("st.") + memOrderName(O) + " " + C.Name + " := " +
-                 std::to_string(V));
+  COMPASS_TRACE(T, std::string("st.") + memOrderName(O) + " " +
+                       Mem.cellName(L) + " := " + std::to_string(V));
 }
 
 Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
@@ -271,6 +408,10 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
   assert(SuccO != MemOrder::NonAtomic && FailO != MemOrder::NonAtomic &&
          "CAS must be atomic");
 
+  if (ScratchOn) {
+    PickCurScratch = TS.Cur.Phys;
+    PickAcqScratch = TS.Acq.Phys;
+  }
   if (Sc) {
     TS.Cur.Phys.joinWith(ScPhys);
     TS.Acq.Phys.joinWith(ScPhys);
@@ -284,11 +425,11 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
   // different value, newest first. A readable non-maximal message carrying
   // the expected value is not a legal read for a strong CAS (atomicity
   // would be violated), so it is simply not offered.
-  bool CanSucceed = C.latest().Val == Expected;
+  bool CanSucceed = C.latestVal() == Expected;
   SmallVec<Timestamp, 16> &FailTs = FailScratch;
   FailTs.clear();
   for (Timestamp Ts = Latest + 1; Ts-- > From;)
-    if (C.History[Ts].Val != Expected)
+    if (C.val(Ts) != Expected)
       FailTs.push_back(Ts);
 
   unsigned NumAlternatives =
@@ -301,31 +442,31 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
 
   if (CanSucceed && Pick == 0) {
     noteOp(L, Footprint::Kind::Update, Sc);
-    const Message &R = C.latest();
-    applyRead(TS, L, R, SuccO);
+    applyRead(TS, L, C, Latest, SuccO);
     // Release-sequence behaviour: the new message carries the read
     // message's view, so a chain of RMWs forwards earlier releases.
-    Knowledge MsgK = R.Know;
+    Knowledge MsgK = C.know(Latest);
     MsgK.joinWith(isRelease(SuccO) ? TS.Cur : relView(TS, L));
     applyWrite(T, TS, L, Desired, std::move(MsgK), isRelease(SuccO));
     if (SuccO == MemOrder::SeqCst)
       ScPhys.joinWith(TS.Cur.Phys);
-    traceOp(T, std::string("cas.") + memOrderName(SuccO) + " " + C.Name +
-                   " " + std::to_string(Expected) + " -> " +
-                   std::to_string(Desired) + " ok");
+    COMPASS_TRACE(T, std::string("cas.") + memOrderName(SuccO) + " " +
+                         Mem.cellName(L) + " " + std::to_string(Expected) +
+                         " -> " + std::to_string(Desired) + " ok");
     return {true, Expected};
   }
 
   // A failed CAS only reads.
   noteOp(L, Footprint::Kind::Read, Sc);
-  const Message &R = C.History[FailTs[Pick - (CanSucceed ? 1 : 0)]];
-  applyRead(TS, L, R, FailO);
+  Timestamp RTs = FailTs[Pick - (CanSucceed ? 1 : 0)];
+  applyRead(TS, L, C, RTs, FailO);
   if (FailO == MemOrder::SeqCst)
     ScPhys.joinWith(TS.Cur.Phys);
-  traceOp(T, std::string("cas.") + memOrderName(FailO) + " " + C.Name +
-                 " exp " + std::to_string(Expected) + " saw " +
-                 std::to_string(R.Val) + " fail");
-  return {false, R.Val};
+  COMPASS_TRACE(T, std::string("cas.") + memOrderName(FailO) + " " +
+                       Mem.cellName(L) + " exp " +
+                       std::to_string(Expected) + " saw " +
+                       std::to_string(C.val(RTs)) + " fail");
+  return {false, C.val(RTs)};
 }
 
 Value Machine::fetchAdd(unsigned T, Loc L, Value Add, MemOrder O) {
@@ -342,16 +483,17 @@ Value Machine::fetchAdd(unsigned T, Loc L, Value Add, MemOrder O) {
   }
 
   // An RMW reads the mo-maximal message (DESIGN.md Section 4).
-  const Message &R = C.latest();
-  Value Old = R.Val;
-  applyRead(TS, L, R, O);
-  Knowledge MsgK = R.Know;
+  Timestamp RTs = C.latestTs();
+  Value Old = C.val(RTs);
+  applyRead(TS, L, C, RTs, O);
+  Knowledge MsgK = C.know(RTs);
   MsgK.joinWith(isRelease(O) ? TS.Cur : relView(TS, L));
   applyWrite(T, TS, L, Old + Add, std::move(MsgK), isRelease(O));
   if (O == MemOrder::SeqCst)
     ScPhys.joinWith(TS.Cur.Phys);
-  traceOp(T, std::string("faa.") + memOrderName(O) + " " + C.Name + " " +
-                 std::to_string(Old) + " += " + std::to_string(Add));
+  COMPASS_TRACE(T, std::string("faa.") + memOrderName(O) + " " +
+                       Mem.cellName(L) + " " + std::to_string(Old) +
+                       " += " + std::to_string(Add));
   return Old;
 }
 
@@ -380,7 +522,7 @@ void Machine::fence(unsigned T, MemOrder O) {
   default:
     fatalError("invalid fence order");
   }
-  traceOp(T, std::string("fence.") + memOrderName(O));
+  COMPASS_TRACE(T, std::string("fence.") + memOrderName(O));
 }
 
 void Machine::pinEnter(unsigned T) {
@@ -390,7 +532,7 @@ void Machine::pinEnter(unsigned T) {
     fatalError("pinEnter: thread already pinned");
   TS.Pinned = true;
   ++TS.PinSession;
-  traceOp(T, "ebr.pin #" + std::to_string(TS.PinSession));
+  COMPASS_TRACE(T, "ebr.pin #" + std::to_string(TS.PinSession));
 }
 
 void Machine::pinExit(unsigned T) {
@@ -399,7 +541,7 @@ void Machine::pinExit(unsigned T) {
   if (!TS.Pinned)
     fatalError("pinExit: thread not pinned");
   TS.Pinned = false;
-  traceOp(T, "ebr.unpin #" + std::to_string(TS.PinSession));
+  COMPASS_TRACE(T, "ebr.unpin #" + std::to_string(TS.PinSession));
 }
 
 void Machine::retire(unsigned T, Loc L, unsigned Count) {
@@ -408,15 +550,15 @@ void Machine::retire(unsigned T, Loc L, unsigned Count) {
     Cell &C = Mem.cell(L + I);
     if (C.Life != CellLife::Live)
       fatalError("retire: cell retired twice");
-    C.Life = CellLife::Retired;
+    Mem.setLife(L + I, CellLife::Retired); // Logs prev life + pins.
     C.RetirePins.clear();
     for (size_t P = 0; P != LiveThreads; ++P)
       if (Threads[P].Pinned)
         C.RetirePins.push_back(
             {static_cast<unsigned>(P), Threads[P].PinSession});
   }
-  traceOp(T, "ebr.retire " + Mem.cell(L).Name + "×" +
-                 std::to_string(Count));
+  COMPASS_TRACE(T, "ebr.retire " + Mem.cellName(L) + "×" +
+                       std::to_string(Count));
 }
 
 void Machine::freeCells(unsigned T, Loc L, unsigned Count) {
@@ -430,13 +572,14 @@ void Machine::freeCells(unsigned T, Loc L, unsigned Count) {
       if (Threads[P.Tid].Pinned && Threads[P.Tid].PinSession == P.Session) {
         reportFault("PREMATURE_FREE",
                     "premature free: thread " + std::to_string(T) +
-                        " frees '" + C.Name + "' while thread " +
-                        std::to_string(P.Tid) +
+                        " frees '" + Mem.cellName(L + I) +
+                        "' while thread " + std::to_string(P.Tid) +
                         " is still pinned in the critical section that "
                         "overlapped the retire");
         break;
       }
-    C.Life = CellLife::Freed;
+    Mem.setLife(L + I, CellLife::Freed);
   }
-  traceOp(T, "ebr.free " + Mem.cell(L).Name + "×" + std::to_string(Count));
+  COMPASS_TRACE(T, "ebr.free " + Mem.cellName(L) + "×" +
+                       std::to_string(Count));
 }

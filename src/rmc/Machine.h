@@ -41,13 +41,49 @@
 
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace compass::rmc {
 
 /// Predicate over message values, for conditional (spin-wait) loads.
-using ValuePred = std::function<bool(Value)>;
+///
+/// A flattened, trivially-copyable small-buffer functor instead of
+/// std::function: the scheduler evaluates wait predicates for every
+/// blocked thread on every step, so the double indirection and potential
+/// heap state of std::function were measurable on the stepping hot path.
+/// Captures must be trivially copyable and fit the inline buffer (spin
+/// predicates capture at most a couple of word-sized values).
+class ValuePred {
+  using Invoke = bool (*)(const void *, Value);
+  alignas(8) unsigned char Buf[24];
+  Invoke Call = nullptr;
+
+public:
+  ValuePred() = default;
+  ValuePred(std::nullptr_t) {}
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ValuePred>>>
+  ValuePred(F Fn) {
+    static_assert(sizeof(F) <= sizeof(Buf),
+                  "spin predicate captures too much state");
+    static_assert(std::is_trivially_copyable_v<F>,
+                  "spin predicate captures must be trivially copyable");
+    new (Buf) F(Fn);
+    Call = [](const void *B, Value V) {
+      return (*static_cast<const F *>(B))(V);
+    };
+  }
+  ValuePred &operator=(std::nullptr_t) {
+    Call = nullptr;
+    return *this;
+  }
+  explicit operator bool() const { return Call != nullptr; }
+  bool operator()(Value V) const { return Call(Buf, V); }
+};
 
 /// The view-based operational machine.
 class Machine {
@@ -93,8 +129,8 @@ public:
   uint64_t opSeq() const { return OpSeqN; }
 
   /// Allocates \p Count cells initialized to \p Init; see Memory::alloc.
-  Loc alloc(std::string Name, unsigned Count = 1, Value Init = 0) {
-    return Mem.alloc(std::move(Name), Count, Init);
+  Loc alloc(const std::string &Name, unsigned Count = 1, Value Init = 0) {
+    return Mem.alloc(Name, Count, Init);
   }
 
   /// Loads from \p L with order \p O (NonAtomic / Relaxed / Acquire /
@@ -193,6 +229,123 @@ public:
   void enableTrace(bool On) { Tracing = On; }
   const std::vector<std::string> &trace() const { return Trace; }
 
+  //===--------------------------------------------------------------------===//
+  // Copy-on-write execution support (DESIGN.md Section 11). The engine
+  // snapshots the machine at decision boundaries and, on backtrack,
+  // fast-forwards client coroutines through the shared prefix with all
+  // machine operations elided: awaiters return journaled values instead of
+  // calling into the machine, and the direct last-read queries below are
+  // served from their own journals.
+  //===--------------------------------------------------------------------===//
+
+  /// True while an execution prefix is being fast-forwarded. Machine
+  /// operations must not be invoked in this mode (awaiters consult the
+  /// scheduler's journal instead); the spec monitor uses it to suppress
+  /// knowledge injection and event commits during the replay.
+  bool replaying() const { return Replaying; }
+
+  /// Journal cursors/lengths for the last-read query journals plus the
+  /// event-reservation sequence number; captured in snapshots, recorded
+  /// per step by the scheduler, and validated after a fast-forward.
+  struct AuxMark {
+    size_t ReadTs = 0;
+    size_t ReadKnow = 0;
+    size_t MemLive = 0; ///< Allocation watermark (allocs are per-step too).
+    uint32_t Reserves = 0;
+  };
+  AuxMark auxMark() const {
+    return {ReadTsLog.size(), ReadKnowLog.size(), Mem.epoch().Live,
+            ReserveSeq};
+  }
+
+  /// Advances the event-reservation sequence. Event ids are allocated
+  /// densely from 0 in reservation order each execution, so this counter
+  /// mirrors the graph's id allocation exactly; during a fast-forward it
+  /// *is* the id source (the graph is not touched), and routing it through
+  /// the machine lets the scheduler skip-jump it per step.
+  uint32_t bumpReserveSeq() { return ReserveSeq++; }
+
+  /// Jumps every replay journal cursor to \p A — used by the scheduler's
+  /// fast-forward to elide a whole step of a thread that is finished at
+  /// the snapshot boundary.
+  void setReplayAux(const AuxMark &A) {
+    ReadTsCursor = A.ReadTs;
+    ReadKnowCursor = A.ReadKnow;
+    ReserveSeq = A.Reserves;
+    Mem.setReplayWatermark(A.MemLive);
+  }
+
+  /// Enters replay mode: query journals replay from the start, allocation
+  /// becomes watermark-only (Memory::setReplayAlloc). Thread registration
+  /// restarts (addThread re-registers the same dense ids over retained
+  /// state; the states are overwritten wholesale by restoreSnapshot).
+  void beginReplay();
+
+  /// Leaves replay mode after a fast-forward that must have consumed the
+  /// journals exactly up to \p Boundary; truncates them there so the live
+  /// suffix records fresh entries.
+  void endReplay(const AuxMark &Boundary);
+
+  /// Deep snapshot of one thread's view state (storage recycled across
+  /// snapshots via capacity-reusing assignment).
+  struct ThreadSnap {
+    Knowledge Cur, Acq, RelFence;
+    std::vector<std::pair<Loc, Knowledge>> Rel;
+    size_t RelLive = 0;
+    bool HasRead = false;
+    Loc LastReadLoc = 0;
+    Timestamp LastReadTs = 0;
+    bool Pinned = false;
+    uint64_t PinSession = 0;
+  };
+
+  /// Snapshot of the whole machine at a step boundary. Memory is captured
+  /// as an O(1) epoch (undo-log marks), not a copy.
+  struct Snap {
+    std::vector<ThreadSnap> Threads;
+    size_t LiveThreads = 0;
+    View ScPhys;
+    Memory::Epoch MemEpoch;
+    AuxMark Aux;
+  };
+
+  /// Captures the machine into \p S, reusing its storage. When \p FixTid is
+  /// valid (not ~0u), that thread's physical cur/acq views are substituted
+  /// from \p FixCur / \p FixAcq — the scheduler's pick-time scratch — so a
+  /// snapshot taken mid-operation (at an op-level choice point) still
+  /// represents the exact step-boundary state (the only pre-choice view
+  /// mutation an operation performs is the SC pre-join into those two).
+  void saveSnapshot(Snap &S, unsigned FixTid = ~0u,
+                    const View *FixCur = nullptr,
+                    const View *FixAcq = nullptr) const;
+
+  /// Restores thread/SC state from \p S (memory is rewound separately via
+  /// Memory::trimToEpoch) and clears the fault flags — a snapshot is only
+  /// ever taken at a boundary the execution passed, where no fault was
+  /// pending.
+  void restoreSnapshot(const Snap &S);
+
+  Memory &memoryMut() { return Mem; }
+
+  /// Whether per-operation tracing is on. The copy-on-write engine falls
+  /// back to full root-replay while tracing: an elided prefix would emit no
+  /// trace lines.
+  bool tracingEnabled() const { return Tracing; }
+
+  /// Live history length of \p L, for the scheduler's memoized wait scans:
+  /// within one execution a cell's history only grows, so a blocked
+  /// thread's wait predicate cannot change verdict until the length does.
+  size_t historyLen(Loc L) const { return Mem.cell(L).Len; }
+
+  /// When enabled, load/loadWhere/cas copy the choosing thread's physical
+  /// cur/acq views into the pick scratch right before the SC pre-join —
+  /// the only thread-view mutation that precedes the operation's choice
+  /// point. A snapshot hook firing at that choice passes the scratch to
+  /// saveSnapshot (FixCur/FixAcq) to reconstruct the step-boundary state.
+  void enableBoundaryScratch(bool On) { ScratchOn = On; }
+  const View &pickCurScratch() const { return PickCurScratch; }
+  const View &pickAcqScratch() const { return PickAcqScratch; }
+
 private:
   /// One entry of a thread's per-location release map. The map is a flat
   /// vector with a live watermark: threads release through a handful of
@@ -234,8 +387,10 @@ private:
   ThreadState &thread(unsigned T);
   const ThreadState &thread(unsigned T) const;
 
-  /// Applies the read-side view effects of reading message \p M from \p L.
-  void applyRead(ThreadState &TS, Loc L, const Message &M, MemOrder O);
+  /// Applies the read-side view effects of reading the message at \p Ts
+  /// from cell \p C (location \p L).
+  void applyRead(ThreadState &TS, Loc L, const Cell &C, Timestamp Ts,
+                 MemOrder O);
 
   /// The view a relaxed write to \p L releases (rel(l) ⊔ fence-release).
   /// Returns a reference to the member scratch buffer RelScratch; valid
@@ -290,6 +445,20 @@ private:
   Knowledge RelScratch;
   SmallVec<Timestamp, 16> CandScratch; ///< loadWhere candidate timestamps.
   SmallVec<Timestamp, 16> FailScratch; ///< CAS failure-read timestamps.
+
+  // Copy-on-write journals (see the COW section above). Record mode
+  // appends on every lastReadTs/lastReadKnowledge query; replay mode
+  // serves queries from the cursors (client retry loops call these between
+  // awaits, in an order the fast-forward reproduces exactly).
+  bool Replaying = false;
+  bool ScratchOn = false; ///< Boundary scratch copies enabled (COW engine).
+  View PickCurScratch;    ///< Choosing thread's Cur.Phys before SC pre-join.
+  View PickAcqScratch;    ///< Choosing thread's Acq.Phys before SC pre-join.
+  mutable std::vector<Timestamp> ReadTsLog;
+  mutable size_t ReadTsCursor = 0;
+  mutable std::vector<std::pair<Loc, Timestamp>> ReadKnowLog;
+  mutable size_t ReadKnowCursor = 0;
+  uint32_t ReserveSeq = 0; ///< Event reservations this execution.
 };
 
 } // namespace compass::rmc

@@ -9,34 +9,54 @@
 using namespace compass;
 using namespace compass::rmc;
 
-Loc Memory::alloc(std::string Name, unsigned Count, Value Init) {
+Loc Memory::alloc(const std::string &Name, unsigned Count, Value Init) {
   assert(Count >= 1 && "allocating zero cells");
   Loc Base = static_cast<Loc>(Live);
+  if (ReplayAlloc) {
+    // Copy-on-write fast-forward: the same allocation sequence replays over
+    // cells whose histories still hold the prefix's messages. Only the
+    // watermark moves; a cheap shape check guards against divergence.
+    if (Live + Count > Cells.size())
+      fatalError("replay-alloc beyond retained cells (divergent prefix?)");
+    for (unsigned I = 0; I != Count; ++I) {
+      Cell &C = Cells[Live + I];
+      assert(C.Len >= 1 && "replay-alloc over an uninitialized cell");
+      assert(C.Name == Name && "replay-alloc name mismatch");
+      (void)C;
+    }
+    Live += Count;
+    return Base;
+  }
   for (unsigned I = 0; I != Count; ++I) {
-    std::string N = Count == 1 ? Name : Name + "+" + std::to_string(I);
     if (Live < Cells.size()) {
-      // Reuse a retained cell from an earlier execution: reset the history
-      // to the single initial message in place. Allocation order replays
-      // deterministically per decision path, so the retained name usually
-      // matches and the compare avoids a string assignment.
+      // Reuse a retained cell from an earlier execution: rewind the history
+      // watermark to the single initial message in place. Allocation order
+      // replays deterministically per decision path, so the retained name
+      // usually matches and the compare avoids a string assignment.
       Cell &C = Cells[Live];
-      if (C.Name != N)
-        C.Name = N;
+      if (C.Name != Name)
+        C.Name = Name;
+      C.Off = Count == 1 ? ~0u : I;
       C.Life = CellLife::Live;
       C.RetirePins.clear();
-      C.History.resize(1);
-      Message &M0 = C.History.front();
-      M0.Ts = 0;
-      M0.Val = Init;
-      M0.Know.clear();
-      M0.Writer = ~0u;
+      C.Len = 1;
+      if (C.Vals.empty()) {
+        C.Vals.push_back(Init);
+        C.Knows.emplace_back();
+        C.Writers.push_back(~0u);
+      } else {
+        C.Vals[0] = Init;
+        C.Knows[0].clear();
+        C.Writers[0] = ~0u;
+      }
     } else {
       Cell C;
-      C.Name = std::move(N);
-      Message Init0;
-      Init0.Ts = 0;
-      Init0.Val = Init;
-      C.History.push_back(std::move(Init0));
+      C.Name = Name;
+      C.Off = Count == 1 ? ~0u : I;
+      C.Vals.push_back(Init);
+      C.Knows.emplace_back();
+      C.Writers.push_back(~0u);
+      C.Len = 1;
       Cells.push_back(std::move(C));
     }
     ++Live;
@@ -56,16 +76,31 @@ Cell &Memory::cell(Loc L) {
   return Cells[L];
 }
 
-const Message &Memory::append(Loc L, Value V, Knowledge Know,
-                              unsigned Writer) {
+std::string Memory::cellName(Loc L) const {
+  const Cell &C = cell(L);
+  if (C.Off == ~0u)
+    return C.Name;
+  return C.Name + "+" + std::to_string(C.Off);
+}
+
+Timestamp Memory::append(Loc L, Value V, const Knowledge &Know,
+                         unsigned Writer) {
   Cell &C = cell(L);
-  Message M;
-  M.Ts = C.latestTs() + 1;
-  M.Val = V;
-  M.Know = std::move(Know);
-  M.Writer = Writer;
-  C.History.push_back(std::move(M));
-  return C.History.back();
+  Timestamp Ts = static_cast<Timestamp>(C.Len);
+  if (C.Len < C.Vals.size()) {
+    // Overwrite a retained slot in place; the Knowledge assignment reuses
+    // the slot's view/id-set heap storage.
+    C.Vals[Ts] = V;
+    C.Knows[Ts] = Know;
+    C.Writers[Ts] = Writer;
+  } else {
+    C.Vals.push_back(V);
+    C.Knows.push_back(Know);
+    C.Writers.push_back(Writer);
+  }
+  ++C.Len;
+  AppendLog.push_back(L);
+  return Ts;
 }
 
 unsigned Memory::countReadableFrom(Loc L, Timestamp From) const {
@@ -73,4 +108,41 @@ unsigned Memory::countReadableFrom(Loc L, Timestamp From) const {
   Timestamp Latest = C.latestTs();
   assert(From <= Latest && "thread view ahead of the history");
   return Latest - From + 1;
+}
+
+void Memory::setLife(Loc L, CellLife NewLife) {
+  Cell &C = cell(L);
+  LifeEvent E;
+  E.L = L;
+  E.PrevLife = C.Life;
+  E.PrevPins = C.RetirePins;
+  LifeLog.push_back(std::move(E));
+  C.Life = NewLife;
+}
+
+void Memory::reset() {
+  Live = 0;
+  AppendLog.clear();
+  LifeLog.clear();
+}
+
+void Memory::trimToEpoch(const Epoch &E) {
+  assert(E.Appends <= AppendLog.size() && "epoch from the future");
+  assert(E.LifeEvents <= LifeLog.size() && "epoch from the future");
+  while (AppendLog.size() > E.Appends) {
+    Loc L = AppendLog.back();
+    AppendLog.pop_back();
+    Cell &C = Cells[L];
+    assert(C.Len > 1 && "append undo would drop the init message");
+    --C.Len;
+  }
+  while (LifeLog.size() > E.LifeEvents) {
+    LifeEvent &Ev = LifeLog.back();
+    Cell &C = Cells[Ev.L];
+    C.Life = Ev.PrevLife;
+    C.RetirePins = std::move(Ev.PrevPins);
+    LifeLog.pop_back();
+  }
+  assert(E.Live <= Live && "epoch allocated more than the present");
+  Live = E.Live;
 }

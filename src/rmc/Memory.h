@@ -13,6 +13,15 @@
 /// order (a documented strengthening over insertion-based semantics; see
 /// DESIGN.md Section 4).
 ///
+/// Histories are stored structure-of-arrays (DESIGN.md Section 11): a cell
+/// keeps parallel Vals/Knows/Writers arrays plus a length watermark, and a
+/// message's timestamp *is* its index. Appends overwrite retained slots in
+/// place, so the per-message Knowledge heap reaches steady state once and
+/// is never freed between executions. Two undo logs (appends and lifecycle
+/// transitions) make any earlier memory state reachable by popping — the
+/// epoch-indexed trimming that the copy-on-write execution engine uses to
+/// rewind memory to a decision boundary without replaying the prefix.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMPASS_RMC_MEMORY_H
@@ -20,7 +29,9 @@
 
 #include "rmc/Knowledge.h"
 #include "rmc/View.h"
+#include "support/Error.h"
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,14 +41,6 @@ namespace compass::rmc {
 /// Values stored in simulated memory. Pointers into simulated memory are
 /// represented as `Loc` values; 0 conventionally encodes null.
 using Value = uint64_t;
-
-/// One write event in a location's history.
-struct Message {
-  Timestamp Ts = 0;      ///< Position in the location's modification order.
-  Value Val = 0;         ///< The written value.
-  Knowledge Know;        ///< View released with the write (Section 2.3).
-  unsigned Writer = ~0u; ///< Thread id of the writer (~0u for init).
-};
 
 /// Reclamation lifecycle of a cell. Allocation never reuses locations
 /// within one simulation, so the lifecycle is monotonic: Live → Retired →
@@ -53,15 +56,26 @@ struct PinRef {
   uint64_t Session = 0;
 };
 
-/// A single memory cell and its complete write history.
+/// A single memory cell and its complete write history, structure-of-arrays
+/// with a length watermark. The message at timestamp Ts lives at index Ts
+/// in each array; slots beyond Len are retained storage whose Knowledge
+/// heaps are reused by later appends.
 struct Cell {
-  std::vector<Message> History; ///< Indexed by timestamp (dense, from 0).
-  std::string Name;             ///< Debug name ("q.head", "node3.next"...).
+  std::vector<Value> Vals;
+  std::vector<Knowledge> Knows;
+  std::vector<unsigned> Writers; ///< Writer tid; ~0u for the init message.
+  size_t Len = 0;                ///< Messages [0, Len) are live.
+
+  std::string Name;  ///< Base debug name ("q.head", "s.slot", ...).
+  unsigned Off = ~0u; ///< Batch offset for multi-cell allocs (~0u: none).
   CellLife Life = CellLife::Live; ///< Reclamation lifecycle state.
   std::vector<PinRef> RetirePins; ///< Readers pinned when it was retired.
 
-  const Message &latest() const { return History.back(); }
-  Timestamp latestTs() const { return History.back().Ts; }
+  Timestamp latestTs() const { return static_cast<Timestamp>(Len - 1); }
+  Value latestVal() const { return Vals[Len - 1]; }
+  Value val(Timestamp Ts) const { return Vals[Ts]; }
+  const Knowledge &know(Timestamp Ts) const { return Knows[Ts]; }
+  unsigned writer(Timestamp Ts) const { return Writers[Ts]; }
 };
 
 /// The machine's memory: an array of cells with allocation.
@@ -73,14 +87,18 @@ struct Cell {
 /// The store is an *arena*: reset() rewinds the allocation watermark
 /// without freeing cell storage, so a Memory reused across the explorer's
 /// millions of replays reaches steady-state capacity once and stops
-/// allocating (cell vector, history vectors, and name strings are all
+/// allocating (cell vector, history arrays, and name strings are all
 /// recycled in allocation order, which replays deterministically).
 class Memory {
 public:
   /// Allocates \p Count fresh cells, named Name, Name+1, ... Each starts
   /// with an initial message at timestamp 0 holding \p Init and empty
   /// knowledge (everyone can read it). Returns the first location.
-  Loc alloc(std::string Name, unsigned Count = 1, Value Init = 0);
+  ///
+  /// In replay-alloc mode (copy-on-write fast-forward of an execution
+  /// prefix) the call only re-advances the allocation watermark over cells
+  /// that still hold the prefix's messages; histories are untouched.
+  Loc alloc(const std::string &Name, unsigned Count = 1, Value Init = 0);
 
   /// Number of allocated (live) cells.
   unsigned size() const { return static_cast<unsigned>(Live); }
@@ -88,22 +106,93 @@ public:
   const Cell &cell(Loc L) const;
   Cell &cell(Loc L);
 
-  /// Appends a message with the next timestamp to \p L and returns it.
-  const Message &append(Loc L, Value V, Knowledge Know, unsigned Writer);
+  /// Debug name of \p L, built on demand ("slot+3" for batch cells). Only
+  /// trace/diagnostic paths pay for the string.
+  std::string cellName(Loc L) const;
+
+  /// Appends a message with the next timestamp to \p L and returns that
+  /// timestamp. The slot's retained Knowledge is overwritten in place.
+  Timestamp append(Loc L, Value V, const Knowledge &Know, unsigned Writer);
+
+  /// Mutable Knowledge of the message at \p Ts (the writer raises the
+  /// message view with its own new timestamp right after appending).
+  Knowledge &knowRef(Loc L, Timestamp Ts) { return cell(L).Knows[Ts]; }
 
   /// Messages of \p L readable by a thread whose view holds \p From:
   /// all timestamps in [From, latest]. Returns the count; the i-th
   /// readable message has timestamp From + i.
   unsigned countReadableFrom(Loc L, Timestamp From) const;
 
+  /// Records a lifecycle transition of \p L in the undo log, then applies
+  /// it. Called by the machine's retire/free ghost steps.
+  void setLife(Loc L, CellLife NewLife);
+
   /// Rewinds the allocation watermark to empty while keeping all cell
-  /// storage for reuse (see class comment).
-  void reset() { Live = 0; }
+  /// storage for reuse (see class comment), and clears the undo logs.
+  void reset();
+
+  //===--------------------------------------------------------------------===//
+  // Copy-on-write support: epochs, trimming, replay-alloc.
+  //===--------------------------------------------------------------------===//
+
+  /// A point in this memory's mutation history. Capturing one is O(1);
+  /// trimToEpoch pops the undo logs back to it, touching only state the
+  /// divergent suffix created.
+  struct Epoch {
+    size_t Live = 0;       ///< Allocation watermark.
+    size_t Appends = 0;    ///< AppendLog length.
+    size_t LifeEvents = 0; ///< LifeLog length.
+  };
+
+  Epoch epoch() const { return {Live, AppendLog.size(), LifeLog.size()}; }
+
+  /// Rewinds to \p E: pops appends (decrementing cell watermarks) and
+  /// lifecycle transitions (restoring Life + RetirePins) recorded after
+  /// the epoch, then rewinds the allocation watermark.
+  void trimToEpoch(const Epoch &E);
+
+  /// Replay-alloc mode: alloc() only re-advances the watermark (see
+  /// alloc()). Entered for the Setup + fast-forward phase of a
+  /// copy-on-write execution, left before the live suffix runs.
+  void setReplayAlloc(bool On) { ReplayAlloc = On; }
+
+  /// Enters replay-alloc mode *and* rewinds the allocation watermark to
+  /// zero, so the replayed Setup + prefix re-cover exactly the locations
+  /// they allocated originally. Histories and undo logs are untouched;
+  /// the fast-forward re-advances the watermark to the snapshot epoch.
+  void beginReplayAlloc() {
+    ReplayAlloc = true;
+    Live = 0;
+  }
+
+  /// Jumps the allocation watermark during replay-alloc mode. Fast-forward
+  /// uses this to elide a whole step of a finished thread: the step's
+  /// allocations never re-run, so the cursor jumps to its recorded end
+  /// mark instead, keeping every later allocation's address aligned.
+  void setReplayWatermark(size_t N) {
+    assert(ReplayAlloc && "watermark jump outside replay-alloc mode");
+    if (N > Cells.size())
+      fatalError("replay watermark beyond retained cells");
+    Live = N;
+  }
 
 private:
   std::vector<Cell> Cells; ///< Cells[0..Live) are allocated; the rest is
                            ///< retained storage from earlier executions.
   size_t Live = 0;
+  bool ReplayAlloc = false;
+
+  /// Undo log of appends: one Loc per append, in order. Popping one
+  /// decrements that cell's watermark (slot contents stay for reuse).
+  std::vector<Loc> AppendLog;
+
+  /// Undo log of lifecycle transitions.
+  struct LifeEvent {
+    Loc L = 0;
+    CellLife PrevLife = CellLife::Live;
+    std::vector<PinRef> PrevPins;
+  };
+  std::vector<LifeEvent> LifeLog;
 };
 
 } // namespace compass::rmc

@@ -4,31 +4,6 @@
 
 using namespace compass::rmc;
 
-void View::raise(Loc L, Timestamp T) {
-  if (L >= Entries.size()) {
-    if (T == 0)
-      return;
-    Entries.resize(L + 1, 0);
-  }
-  if (Entries[L] < T)
-    Entries[L] = T;
-}
-
-void View::joinWith(const View &Other) {
-  const size_t OtherSize = Other.Entries.size();
-  if (OtherSize == 0)
-    return; // Joining bottom: common for fresh messages/threads.
-  if (OtherSize > Entries.size())
-    Entries.resize(OtherSize, 0);
-  // The common case grows nothing; help the optimizer vectorize the
-  // pointwise max by working through raw pointers.
-  Timestamp *__restrict__ Dst = Entries.data();
-  const Timestamp *__restrict__ Src = Other.Entries.data();
-  for (size_t I = 0; I != OtherSize; ++I)
-    if (Dst[I] < Src[I])
-      Dst[I] = Src[I];
-}
-
 bool View::includedIn(const View &Other) const {
   for (size_t I = 0, E = Entries.size(); I != E; ++I) {
     Timestamp Theirs = I < Other.Entries.size() ? Other.Entries[I] : 0;

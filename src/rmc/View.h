@@ -42,11 +42,33 @@ public:
     return L < Entries.size() ? Entries[L] : 0;
   }
 
-  /// Raises the view's entry for \p L to at least \p T.
-  void raise(Loc L, Timestamp T);
+  /// Raises the view's entry for \p L to at least \p T. Inline: raise and
+  /// joinWith run on every machine operation (the interpreter hot path).
+  void raise(Loc L, Timestamp T) {
+    if (L >= Entries.size()) {
+      if (T == 0)
+        return;
+      Entries.resize(L + 1, 0);
+    }
+    if (Entries[L] < T)
+      Entries[L] = T;
+  }
 
   /// Pointwise maximum in place: this := this ⊔ Other.
-  void joinWith(const View &Other);
+  void joinWith(const View &Other) {
+    const size_t OtherSize = Other.Entries.size();
+    if (OtherSize == 0)
+      return; // Joining bottom: common for fresh messages/threads.
+    if (OtherSize > Entries.size())
+      Entries.resize(OtherSize, 0);
+    // The common case grows nothing; help the optimizer vectorize the
+    // pointwise max by working through raw pointers.
+    Timestamp *__restrict__ Dst = Entries.data();
+    const Timestamp *__restrict__ Src = Other.Entries.data();
+    for (size_t I = 0; I != OtherSize; ++I)
+      if (Dst[I] < Src[I])
+        Dst[I] = Src[I];
+  }
 
   /// Drops all entries but keeps the backing storage, so a reused view
   /// reaches its steady-state capacity once and never reallocates again

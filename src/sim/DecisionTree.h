@@ -93,6 +93,21 @@ public:
   /// Resets the replay cursor; call before each execution.
   void beginExecution() { Pos = 0; }
 
+  /// Replay-cursor position: the number of decisions resolved so far in
+  /// the current execution.
+  size_t position() const { return Pos; }
+
+  /// Jumps the replay cursor to \p P, for a copy-on-write resume that
+  /// skipped the decisions before a snapshot boundary. The cursor then
+  /// re-consumes the recorded path from \p P (through the advanced
+  /// divergence decision) before extending; advance()'s path-consumed
+  /// invariant still checks the execution reached the end of the trace.
+  void resumeAt(size_t P) {
+    if (P > Trace.size())
+      P = Trace.size();
+    Pos = P;
+  }
+
   /// Resolves the next decision of the current execution: replays the
   /// backtracked prefix (enforcing that \p Count matches the recorded
   /// arity), then extends the path with alternative 0.

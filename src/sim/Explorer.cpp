@@ -55,27 +55,25 @@ bool Explorer::beginExecution() {
   return true;
 }
 
+Explorer::TagStat &Explorer::tagStat(const char *Tag) {
+  // Per-tag statistics, keyed by pointer identity of the static string
+  // (merged by name into Summary.Tags). A linear scan beats hashing for the
+  // handful of distinct tags in play.
+  for (auto &Entry : TagStats)
+    if (Entry.first == Tag || std::strcmp(Entry.first, Tag) == 0)
+      return Entry.second;
+  TagStats.push_back({Tag, TagStat{}});
+  return TagStats.back().second;
+}
+
 unsigned Explorer::choose(unsigned Count, const char *Tag) {
   assert(InExecution && "choice outside an execution");
   assert(Count >= 1 && "choice with no alternatives");
 
-  // Per-tag statistics, keyed by pointer identity of the static string
-  // (merged by name into Summary.Tags). A linear scan beats hashing for the
-  // handful of distinct tags in play.
-  TagStat *Stat = nullptr;
-  for (auto &Entry : TagStats) {
-    if (Entry.first == Tag || std::strcmp(Entry.first, Tag) == 0) {
-      Stat = &Entry.second;
-      break;
-    }
-  }
-  if (!Stat) {
-    TagStats.push_back({Tag, TagStat{}});
-    Stat = &TagStats.back().second;
-  }
-  ++Stat->Choices;
-  Stat->AltSum += Count;
-  Stat->MaxArity = std::max(Stat->MaxArity, Count);
+  TagStat &Stat = tagStat(Tag);
+  ++Stat.Choices;
+  Stat.AltSum += Count;
+  Stat.MaxArity = std::max(Stat.MaxArity, Count);
 
   if (Opts.ExploreMode == Mode::Random) {
     // Record the decision even in random mode: a failing sampled run must
@@ -84,7 +82,43 @@ unsigned Explorer::choose(unsigned Count, const char *Tag) {
     RandTrace.push_back({Pick, Count, Count, Tag});
     return Pick;
   }
+
+  // A fresh multi-alternative node is a potential backtrack target: let
+  // the copy-on-write engine snapshot the pre-decision state so sibling
+  // alternatives resume here. Replayed nodes (including the pinned seed)
+  // already have their snapshots from the execution that created them.
+  if (SnapHook && Count > 1 && !Tree.replaying())
+    SnapHook(Tree.position(), Tag);
+
   return Tree.next(Count, Tag);
+}
+
+size_t Explorer::decisionPosition() const {
+  return Opts.ExploreMode == Mode::Random ? RandTrace.size()
+                                          : Tree.position();
+}
+
+void Explorer::resumeReplayAt(size_t Pos) {
+  assert(InExecution && "resumeReplayAt outside an execution");
+  assert(Opts.ExploreMode == Mode::Exhaustive);
+  Tree.resumeAt(Pos);
+}
+
+void Explorer::creditReplayedPrefix(size_t Pos) {
+  // The skipped prefix's decisions still exist on the tree path; account
+  // for the choose() calls a root replay would have made for them, so the
+  // deterministic core (per-tag totals) is engine-path independent.
+  const auto &Trace = Tree.trace();
+  assert(Pos <= Trace.size());
+  for (size_t I = 0; I != Pos; ++I) {
+    const DecisionTree::Decision &D = Trace[I];
+    // Count==1 decisions never reach choose(); the tree records only real
+    // alternatives, so every entry counts.
+    TagStat &Stat = tagStat(D.Tag);
+    ++Stat.Choices;
+    Stat.AltSum += D.Count;
+    Stat.MaxArity = std::max(Stat.MaxArity, D.Count);
+  }
 }
 
 const std::vector<DecisionTree::Decision> &Explorer::currentTrace() const {

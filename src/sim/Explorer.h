@@ -53,6 +53,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -63,6 +64,15 @@ namespace compass::sim {
 enum class ReductionMode {
   None,    ///< Plain exhaustive DFS (baseline; fingerprint-stable).
   SleepSet ///< Sleep-set partial-order reduction over sched choices.
+};
+
+/// How the exploration engine re-establishes state between executions
+/// (DESIGN.md Section 11). Functionally invisible: summaries, fingerprints
+/// and violation traces are bit-identical across paths.
+enum class EnginePath {
+  Auto,      ///< Copy-on-write prefix resumption when the workload allows.
+  RootReplay ///< Always re-execute from the root (the classic engine; the
+             ///< A/B reference for the copy-on-write path).
 };
 
 /// Explores the decision tree of a bounded concurrent program.
@@ -91,6 +101,10 @@ public:
     /// execution-count baseline (e.g. a pinned fingerprint comparison
     /// against unreduced exploration) is required.
     ReductionMode Reduction = ReductionMode::None;
+    /// Execution engine path; see EnginePath. RootReplay is the A/B
+    /// reference used by tests to pin down that copy-on-write resumption
+    /// is observationally identical.
+    EnginePath Engine = EnginePath::Auto;
   };
 
   /// Per-tag statistics over the choice points of all explored executions.
@@ -138,6 +152,14 @@ public:
       uint64_t PeakQueue = 0;    ///< Largest shared work queue (parallel).
       uint64_t Donations = 0;    ///< Prefixes donated between workers.
       unsigned Workers = 1;
+      // Copy-on-write engine effectiveness (sim/Engine.h). StepsLogical
+      // counts every scheduler step of every execution (what root replay
+      // would run); StepsExecuted counts the steps actually performed —
+      // the gap is the work the snapshot/fast-forward path avoided.
+      uint64_t StepsExecuted = 0;
+      uint64_t StepsLogical = 0;
+      uint64_t CowResumes = 0; ///< Executions resumed from a snapshot.
+      uint64_t RootRuns = 0;   ///< Executions run from the root.
     } Perf;
 
     /// The first violation's decisions as plain indices (replay() input).
@@ -183,8 +205,30 @@ public:
 
   unsigned choose(unsigned Count, const char *Tag) override;
 
+  size_t decisionPosition() const override;
+
   const Options &options() const { return Opts; }
   const Summary &summary() const { return Sum; }
+
+  // -- Copy-on-write engine hooks (sim/Engine.h) -----------------------
+
+  /// Called from choose() right before a *fresh* multi-alternative decision
+  /// is appended to the tree (exhaustive mode, not replaying). NodeIndex is
+  /// the decision's index on the path; the engine snapshots machine /
+  /// scheduler / reduction state so sibling alternatives of this node can
+  /// resume here instead of replaying from the root.
+  using SnapshotHook = std::function<void(size_t NodeIndex, const char *Tag)>;
+  void setSnapshotHook(SnapshotHook H) { SnapHook = std::move(H); }
+
+  /// Jumps the decision-tree replay cursor to \p Pos for an execution
+  /// resumed from a snapshot (the skipped decisions were validated when
+  /// the snapshot's execution recorded them).
+  void resumeReplayAt(size_t Pos);
+
+  /// Adds the per-tag statistics the skipped prefix [0, \p Pos) would have
+  /// contributed had it been replayed through choose(), keeping the
+  /// summary's deterministic core independent of the engine path.
+  void creditReplayedPrefix(size_t Pos);
 
   /// The decision sequence of the current (or last) execution; useful for
   /// reporting reproducible counterexamples. Recorded in both exhaustive
@@ -254,9 +298,11 @@ private:
   /// (folded into Summary.Tags by name on finalize). Linear scan: there are
   /// only a handful of distinct tags ("sched", "load", "cas", ...).
   std::vector<std::pair<const char *, TagStat>> TagStats;
+  SnapshotHook SnapHook;
   std::chrono::steady_clock::time_point Start;
   std::chrono::steady_clock::time_point LastProgress;
 
+  TagStat &tagStat(const char *Tag);
   void finalizePerf();
 };
 

@@ -6,19 +6,23 @@
 ///
 /// \file
 /// Parallel exhaustive exploration: N std::thread workers, each owning a
-/// private Machine/Scheduler/Explorer (and thus a private DecisionTree),
-/// fed from a shared work queue of unexplored subtree prefixes.
+/// persistent Machine/Scheduler arena plus a per-subtree Explorer (and
+/// thus a private DecisionTree), fed from per-worker deques of unexplored
+/// subtree prefixes with work stealing.
 ///
-/// Protocol: the queue starts with the root (empty) prefix — or, when
-/// resuming from a checkpoint (sim/Checkpoint.h), with the snapshot's
-/// frontier of pinned prefixes. A worker pops a prefix, seeds an Explorer
-/// with it, and DFS-enumerates that subtree — replaying the prefix at the
-/// start of every execution, exactly like the serial explorer replays its
-/// backtracked prefix. Whenever other workers are starved, the worker
-/// *donates* the untried alternatives of its shallowest open choice point
-/// back to the queue (DecisionTree::split) and keeps searching its own
-/// branch. Exploration terminates when the queue is empty and no worker
-/// holds a subtree.
+/// Protocol: worker 0's deque starts with the root (empty) prefix — or,
+/// when resuming from a checkpoint (sim/Checkpoint.h), the deques are
+/// seeded round-robin with the snapshot's frontier of pinned prefixes. A
+/// worker takes from the back of its own deque (deepest donation first),
+/// steals from the front of another's when its own is empty (shallowest =
+/// largest subtree), seeds an Explorer with the prefix, and DFS-enumerates
+/// that subtree under the copy-on-write engine (sim/Engine.h) — exactly
+/// the serial explorer's execution path. Donation is proactive, batched,
+/// and gated: after an execution, a worker whose tree still has a healthy
+/// open frontier refills the pool with a batch of its shallowest untried
+/// alternatives (DecisionTree::split) whenever the total queued work drops
+/// below the low-water mark. Termination is unit-counted: the worker that
+/// retires the last queued-or-running prefix ends the exploration.
 ///
 /// Determinism guarantee: the donated prefixes partition the decision tree,
 /// every decision sequence is enumerated by exactly one worker, and every

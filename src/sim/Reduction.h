@@ -90,6 +90,36 @@ public:
   /// The current sleep set (sorted by Tid); exposed for tests.
   const std::vector<SleepMove> &current() const { return Cur; }
 
+  //===--------------------------------------------------------------------===//
+  // Copy-on-write boundaries. The scheduler calls saveBoundary() at the
+  // top of every recorded step; the engine copies the saved state into its
+  // snapshot and hands it back through restore() when rewinding. Only Cur
+  // and the point count need capturing: Points entries are written once at
+  // their sched choice and never mutated afterwards, so a rewind that
+  // re-runs the divergent step recycles the next Points slot naturally.
+  //===--------------------------------------------------------------------===//
+
+  /// Sleep-set state at a step boundary (storage recycled across saves).
+  struct Boundary {
+    std::vector<SleepMove> Cur;
+    size_t NumPoints = 0;
+  };
+
+  /// Records the current state into the loop-top scratch (capacity-reusing
+  /// assignment; allocation-free at steady state).
+  void saveBoundary() {
+    LoopTop.Cur = Cur;
+    LoopTop.NumPoints = NumPoints;
+  }
+
+  const Boundary &boundary() const { return LoopTop; }
+
+  /// Rewinds to \p B (capacity-reusing assignment).
+  void restore(const Boundary &B) {
+    Cur = B.Cur;
+    NumPoints = B.NumPoints;
+  }
+
 private:
   bool isAsleep(unsigned Tid) const;
   static void insertMove(std::vector<SleepMove> &S, unsigned Tid,
@@ -109,6 +139,8 @@ private:
   std::vector<SleepMove> Seed; ///< Donor snapshot (sorted by Tid).
   size_t SeedOrdinal = 0;
   bool HasSeed = false;
+
+  Boundary LoopTop; ///< saveBoundary() scratch (see the COW section).
 };
 
 } // namespace compass::sim

@@ -28,6 +28,7 @@ Env &Scheduler::newThread() {
     Rec.Blocked = false;
     Rec.WaitLoc = 0;
     Rec.WaitPred = nullptr;
+    Rec.CacheValid = false;
     ++LiveThreads;
     return *Rec.E;
   }
@@ -47,6 +48,7 @@ void Scheduler::reset() {
   Preemptions = 0;
   LastRun = ~0u;
   PruneRequested = false;
+  DoneMask = 0;
   // Thread records, PreemptionBound and the reduction hook persist; the
   // caller resets the machine and (for reduced runs) the Reduction
   // separately.
@@ -83,6 +85,9 @@ void Scheduler::parkBlocked(unsigned Tid, std::coroutine_handle<> H,
   Rec.Blocked = true;
   Rec.WaitLoc = L;
   Rec.WaitPred = std::move(Pred);
+  // The thread just ran (its view may have risen), so any memoized wait
+  // verdict is stale.
+  Rec.CacheValid = false;
 }
 
 Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
@@ -104,8 +109,25 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
       if (Rec.Done)
         continue;
       AnyUnfinished = true;
-      if (!Rec.Blocked ||
-          M.anyReadableSatisfies(Tid, Rec.WaitLoc, Rec.WaitPred))
+      if (!Rec.Blocked) {
+        Enabled.push_back(Tid);
+        continue;
+      }
+      // Memoized wait scan: a blocked thread's verdict can only change
+      // when the awaited cell's history grows (its own view is frozen).
+      const size_t Len = M.historyLen(Rec.WaitLoc);
+      bool Ready;
+      if (Rec.CacheValid && Rec.CacheLoc == Rec.WaitLoc &&
+          Rec.CacheLen == Len) {
+        Ready = Rec.CacheResult;
+      } else {
+        Ready = M.anyReadableSatisfies(Tid, Rec.WaitLoc, Rec.WaitPred);
+        Rec.CacheLoc = Rec.WaitLoc;
+        Rec.CacheLen = Len;
+        Rec.CacheResult = Ready;
+        Rec.CacheValid = true;
+      }
+      if (Ready)
         Enabled.push_back(Tid);
     }
 
@@ -115,6 +137,20 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
       return RunResult::Deadlock;
     if (Steps >= MaxSteps)
       return RunResult::StepLimit;
+
+    if (Mode == JournalMode::Record) {
+      // Loop-top boundary of the step about to execute: the state a
+      // snapshot taken at any choice inside it must rewind to. Captured
+      // before the scheduler pick below mutates Preemptions/LastRun.
+      LoopTop.Steps = Steps;
+      LoopTop.Preemptions = Preemptions;
+      LoopTop.LastRun = LastRun;
+      LoopTop.OpEntries = OpLog.size();
+      LoopTop.TreePos = Choices.decisionPosition();
+      LoopTop.FinishedMask = DoneMask;
+      if (Red)
+        Red->saveBoundary();
+    }
 
     // Preemption bounding (CHESS): once the budget is spent, a thread that
     // is still enabled keeps running; switches are only explored when the
@@ -163,9 +199,18 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
     Rec.Blocked = false;
     std::coroutine_handle<> H = Rec.Pending;
     Rec.Pending = nullptr;
+    if (Mode == JournalMode::Record)
+      StepLog.push_back({LastRun, 0, {}});
     const uint64_t Seq0 = M.opSeq();
     H.resume();
     ++Steps;
+    if (Mode == JournalMode::Record) {
+      // End-of-step cursor marks, so a fast-forward can skip the whole
+      // step (finished thread) by jumping the cursors here.
+      StepEnt &Ent = StepLog.back();
+      Ent.OpEnd = static_cast<uint32_t>(OpLog.size());
+      Ent.AuxEnd = M.auxMark();
+    }
 
     if (Red) {
       // Report the executed step so dependent sleeping moves wake. A
@@ -187,6 +232,74 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
       if (!Rec.Root.done())
         fatalError("thread stopped without parking or ending");
       Rec.Done = true;
+      if (LastRun < 64)
+        DoneMask |= uint64_t{1} << LastRun;
     }
   }
+}
+
+void Scheduler::journalUnderrun() const {
+  fatalError("copy-on-write fast-forward diverged: operation journal "
+             "exhausted before the snapshot boundary");
+}
+
+void Scheduler::fastForward(uint64_t NSteps, uint64_t SkipMask) {
+  assert(Mode == JournalMode::Replay &&
+         "fastForward requires beginFastForward");
+  if (NSteps > StepLog.size())
+    fatalError("fast-forward past the recorded prefix");
+  for (uint64_t I = 0; I != NSteps; ++I) {
+    const StepEnt &Ent = StepLog[I];
+    if (Ent.Tid < 64 && (SkipMask >> Ent.Tid & 1)) {
+      // The thread is finished at the target boundary, so its recomputed
+      // coroutine frame is never resumed in the subtree: skip the resume
+      // entirely and jump every journal cursor over the step's entries.
+      OpCursor = Ent.OpEnd;
+      M.setReplayAux(Ent.AuxEnd);
+      continue;
+    }
+    ThreadRec &Rec = *Threads[Ent.Tid];
+    if (!Rec.Pending)
+      fatalError("fast-forward scheduled a thread with no pending step");
+    Rec.Blocked = false;
+    std::coroutine_handle<> H = Rec.Pending;
+    Rec.Pending = nullptr;
+    H.resume();
+    if (!Rec.Pending) {
+      if (!Rec.Root.done())
+        fatalError("thread stopped without parking or ending");
+      Rec.Done = true;
+      if (Ent.Tid < 64)
+        DoneMask |= uint64_t{1} << Ent.Tid;
+    }
+  }
+  // Mark the skipped threads finished; their never-resumed start frames
+  // are destroyed by the next Setup's start().
+  for (unsigned Tid = 0; Tid < LiveThreads && Tid < 64; ++Tid)
+    if (SkipMask >> Tid & 1) {
+      ThreadRec &Rec = *Threads[Tid];
+      Rec.Pending = nullptr;
+      Rec.Done = true;
+      DoneMask |= uint64_t{1} << Tid;
+    }
+}
+
+void Scheduler::endFastForward(const Boundary &B) {
+  if (OpCursor != B.OpEntries)
+    fatalError("copy-on-write fast-forward diverged: operation journal "
+               "out of sync with the snapshot boundary");
+  StepLog.resize(B.Steps);
+  OpLog.resize(B.OpEntries);
+  OpCursor = 0;
+  Steps = B.Steps;
+  Preemptions = B.Preemptions;
+  LastRun = B.LastRun;
+  PruneRequested = false;
+  Mode = JournalMode::Record;
+  LoopTop = B;
+  DoneMask = B.FinishedMask;
+  // The rewind may have changed slot contents under unchanged history
+  // lengths; every memoized wait verdict is suspect.
+  for (size_t I = 0; I != LiveThreads; ++I)
+    Threads[I]->CacheValid = false;
 }

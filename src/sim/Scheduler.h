@@ -132,6 +132,109 @@ public:
   /// True if the thread \p Tid has finished. Valid after run().
   bool finished(unsigned Tid) const { return Threads[Tid]->Done; }
 
+  //===--------------------------------------------------------------------===//
+  // Copy-on-write journaling (sim/Engine.h). In Record mode run() logs
+  // every scheduled thread (StepLog) and every value a memory operation
+  // returned (OpLog). A later fast-forward re-resumes the same threads in
+  // the same order while the awaiters serve results from the journal
+  // instead of re-executing machine operations — client coroutine state is
+  // recomputed, machine state is restored from a snapshot.
+  //===--------------------------------------------------------------------===//
+
+  enum class JournalMode : uint8_t { Off, Record, Replay };
+
+  /// One journaled operation result: the returned value (for a CAS, the
+  /// observed old value) plus a CAS's success flag.
+  struct OpEntry {
+    rmc::Value Val = 0;
+    bool Flag = false;
+  };
+
+  /// One journaled step: the scheduled thread plus every journal cursor's
+  /// position right *after* the step (operation journal and the machine's
+  /// aux journals). Fast-forward can skip a whole step of a thread that is
+  /// finished at the snapshot boundary by jumping the cursors to these
+  /// marks instead of re-resuming the coroutine.
+  struct StepEnt {
+    unsigned Tid = 0;
+    uint32_t OpEnd = 0;
+    rmc::Machine::AuxMark AuxEnd;
+  };
+
+  /// The scheduler's loop-top state right before a step — a decision
+  /// boundary the copy-on-write engine can rewind to. TreePos is the
+  /// ChoiceSource's decision count at the loop top, i.e. before this
+  /// step's scheduler pick and any operation-level choices it leads to.
+  struct Boundary {
+    uint64_t Steps = 0;
+    unsigned Preemptions = 0;
+    unsigned LastRun = ~0u;
+    size_t OpEntries = 0;
+    size_t TreePos = 0;
+    /// Bitmask of threads (tid < 64) already finished at the boundary.
+    /// A fast-forward targeting this boundary may skip their steps when
+    /// the workload declares that sound (Workload::Body::CowSkipFinished):
+    /// a finished thread never runs in the subtree, so its recomputed
+    /// coroutine frame is never needed again.
+    uint64_t FinishedMask = 0;
+  };
+
+  JournalMode journalMode() const { return Mode; }
+
+  /// Starts a recorded execution: clears both journals, enters Record mode.
+  void beginJournal() {
+    StepLog.clear();
+    OpLog.clear();
+    OpCursor = 0;
+    Mode = JournalMode::Record;
+    LoopTop = Boundary();
+  }
+
+  /// Leaves journaling entirely (classic exploration / replay() paths).
+  void stopJournal() {
+    StepLog.clear();
+    OpLog.clear();
+    OpCursor = 0;
+    Mode = JournalMode::Off;
+  }
+
+  /// The loop-top boundary of the step currently executing (Record mode).
+  /// A snapshot hook firing at a choice inside the step reads it to mark
+  /// the rewind point.
+  const Boundary &captureBoundary() const { return LoopTop; }
+
+  /// Thread id of the step currently executing (valid during a resume).
+  unsigned currentStepThread() const { return LastRun; }
+
+  // Journal access for the awaiters (hot path).
+  void recordOp(rmc::Value V, bool Flag = false) {
+    OpLog.push_back({V, Flag});
+  }
+  const OpEntry &nextOp() {
+    if (OpCursor >= OpLog.size())
+      journalUnderrun();
+    return OpLog[OpCursor++];
+  }
+
+  /// Enters Replay mode: fastForward() resumes serve journaled results.
+  void beginFastForward() {
+    Mode = JournalMode::Replay;
+    OpCursor = 0;
+  }
+
+  /// Re-resumes the first \p NSteps journaled steps with machine operations
+  /// elided. The caller must have reset the scheduler and re-run Setup (so
+  /// the coroutines exist afresh) and put the machine in replay mode.
+  /// Steps of threads in \p SkipMask (the boundary's FinishedMask, when
+  /// the workload allows skipping) are not re-resumed at all: the journal
+  /// cursors jump over them and the threads are marked finished afterwards.
+  void fastForward(uint64_t NSteps, uint64_t SkipMask = 0);
+
+  /// Leaves Replay at boundary \p B: validates the journal cursor,
+  /// truncates both journals to the boundary, restores the step/preemption
+  /// counters, and resumes Record mode for the live suffix.
+  void endFastForward(const Boundary &B);
+
   // Internal API used by the awaitables. \p Fp is the footprint of the
   // operation the thread will perform when next scheduled, for the
   // reduction layer's independence checks.
@@ -151,7 +254,18 @@ private:
     bool Blocked = false;
     rmc::Loc WaitLoc = 0;
     rmc::ValuePred WaitPred;
+    // Memoized wait-scan verdict: within one execution a cell's history
+    // only grows and a blocked thread's own view is frozen, so the scan
+    // result holds until the history length changes. Invalidated on
+    // (re)parking and across execution/rewind boundaries, where the same
+    // length can denote different slot contents.
+    rmc::Loc CacheLoc = 0;
+    size_t CacheLen = 0;
+    bool CacheResult = false;
+    bool CacheValid = false;
   };
+
+  [[noreturn]] void journalUnderrun() const;
 
   rmc::Machine &M;
   ChoiceSource &Choices;
@@ -165,6 +279,16 @@ private:
   bool PruneRequested = false;
   Reduction *Red = nullptr;
 
+  // Copy-on-write journals (see the COW section above). Persist across
+  // reset(): the engine controls their lifetime via beginJournal /
+  // beginFastForward / endFastForward.
+  JournalMode Mode = JournalMode::Off;
+  std::vector<StepEnt> StepLog; ///< Executed steps with cursor end marks.
+  std::vector<OpEntry> OpLog;   ///< Results of value-returning ops.
+  size_t OpCursor = 0;
+  Boundary LoopTop; ///< Loop-top scratch, updated per step in Record mode.
+  uint64_t DoneMask = 0; ///< Finished threads with tid < 64 (live mirror).
+
   /// Scratch for run()'s per-step enabled-thread scan (allocation-free at
   /// steady state).
   std::vector<unsigned> Enabled;
@@ -175,7 +299,10 @@ namespace detail {
 
 /// Base for one-shot memory-operation awaitables: suspend to the scheduler
 /// (announcing the pending operation's footprint), perform the access on
-/// resume.
+/// resume. During a copy-on-write fast-forward (JournalMode::Replay) the
+/// machine call is elided: value-returning operations serve the journaled
+/// result, void operations do nothing — the machine's state is restored
+/// from a snapshot instead.
 struct OpAwaiterBase {
   Env &E;
   rmc::Footprint Fp;
@@ -191,7 +318,15 @@ struct LoadAwaiter : OpAwaiterBase {
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Read,
                           O == rmc::MemOrder::SeqCst}),
         L(L), O(O) {}
-  rmc::Value await_resume() { return E.M.load(E.Tid, L, O); }
+  rmc::Value await_resume() {
+    Scheduler &S = E.S;
+    if (S.journalMode() == Scheduler::JournalMode::Replay)
+      return S.nextOp().Val;
+    rmc::Value V = E.M.load(E.Tid, L, O);
+    if (S.journalMode() == Scheduler::JournalMode::Record)
+      S.recordOp(V);
+    return V;
+  }
 };
 
 struct StoreAwaiter : OpAwaiterBase {
@@ -202,7 +337,11 @@ struct StoreAwaiter : OpAwaiterBase {
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Write,
                           O == rmc::MemOrder::SeqCst}),
         L(L), V(V), O(O) {}
-  void await_resume() { E.M.store(E.Tid, L, V, O); }
+  void await_resume() {
+    if (E.S.journalMode() == Scheduler::JournalMode::Replay)
+      return;
+    E.M.store(E.Tid, L, V, O);
+  }
 };
 
 struct CasAwaiter : OpAwaiterBase {
@@ -220,7 +359,16 @@ struct CasAwaiter : OpAwaiterBase {
         L(L), Expected(Expected), Desired(Desired), SuccO(SuccO),
         FailO(FailO) {}
   rmc::Machine::CasResult await_resume() {
-    return E.M.cas(E.Tid, L, Expected, Desired, SuccO, FailO);
+    Scheduler &S = E.S;
+    if (S.journalMode() == Scheduler::JournalMode::Replay) {
+      const Scheduler::OpEntry &En = S.nextOp();
+      return {En.Flag, En.Val};
+    }
+    rmc::Machine::CasResult R =
+        E.M.cas(E.Tid, L, Expected, Desired, SuccO, FailO);
+    if (S.journalMode() == Scheduler::JournalMode::Record)
+      S.recordOp(R.Old, R.Success);
+    return R;
   }
 };
 
@@ -232,7 +380,15 @@ struct FaaAwaiter : OpAwaiterBase {
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Update,
                           O == rmc::MemOrder::SeqCst}),
         L(L), Add(Add), O(O) {}
-  rmc::Value await_resume() { return E.M.fetchAdd(E.Tid, L, Add, O); }
+  rmc::Value await_resume() {
+    Scheduler &S = E.S;
+    if (S.journalMode() == Scheduler::JournalMode::Replay)
+      return S.nextOp().Val;
+    rmc::Value V = E.M.fetchAdd(E.Tid, L, Add, O);
+    if (S.journalMode() == Scheduler::JournalMode::Record)
+      S.recordOp(V);
+    return V;
+  }
 };
 
 struct FenceAwaiter : OpAwaiterBase {
@@ -241,7 +397,11 @@ struct FenceAwaiter : OpAwaiterBase {
       : OpAwaiterBase(E, {0, rmc::Footprint::Kind::Fence,
                           O == rmc::MemOrder::SeqCst}),
         O(O) {}
-  void await_resume() { E.M.fence(E.Tid, O); }
+  void await_resume() {
+    if (E.S.journalMode() == Scheduler::JournalMode::Replay)
+      return;
+    E.M.fence(E.Tid, O);
+  }
 };
 
 struct PinAwaiter : OpAwaiterBase {
@@ -250,6 +410,8 @@ struct PinAwaiter : OpAwaiterBase {
       : OpAwaiterBase(E, {0, rmc::Footprint::Kind::Reclaim, false}),
         Enter(Enter) {}
   void await_resume() {
+    if (E.S.journalMode() == Scheduler::JournalMode::Replay)
+      return;
     if (Enter)
       E.M.pinEnter(E.Tid);
     else
@@ -263,7 +425,11 @@ struct RetireAwaiter : OpAwaiterBase {
   RetireAwaiter(Env &E, rmc::Loc L, unsigned Count)
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Reclaim, false}), L(L),
         Count(Count) {}
-  void await_resume() { E.M.retire(E.Tid, L, Count); }
+  void await_resume() {
+    if (E.S.journalMode() == Scheduler::JournalMode::Replay)
+      return;
+    E.M.retire(E.Tid, L, Count);
+  }
 };
 
 struct FreeAwaiter : OpAwaiterBase {
@@ -272,7 +438,11 @@ struct FreeAwaiter : OpAwaiterBase {
   FreeAwaiter(Env &E, rmc::Loc L, unsigned Count)
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Free, false}), L(L),
         Count(Count) {}
-  void await_resume() { E.M.freeCells(E.Tid, L, Count); }
+  void await_resume() {
+    if (E.S.journalMode() == Scheduler::JournalMode::Replay)
+      return;
+    E.M.freeCells(E.Tid, L, Count);
+  }
 };
 
 struct PruneAwaiter {
@@ -302,7 +472,15 @@ struct SpinAwaiter {
                     {L, rmc::Footprint::Kind::Read,
                      O == rmc::MemOrder::SeqCst});
   }
-  rmc::Value await_resume() { return E.M.loadWhere(E.Tid, L, O, Pred); }
+  rmc::Value await_resume() {
+    Scheduler &S = E.S;
+    if (S.journalMode() == Scheduler::JournalMode::Replay)
+      return S.nextOp().Val;
+    rmc::Value V = E.M.loadWhere(E.Tid, L, O, Pred);
+    if (S.journalMode() == Scheduler::JournalMode::Record)
+      S.recordOp(V);
+    return V;
+  }
 };
 
 } // namespace detail

@@ -31,6 +31,7 @@
 #include "sim/Explorer.h"
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,12 +46,43 @@ public:
   using CheckFn =
       std::function<bool(rmc::Machine &, Scheduler &, Scheduler::RunResult)>;
 
+  /// Saves the body's non-machine state (e.g. a spec monitor) into the
+  /// engine-owned slot, reusing its storage across saves. Called when the
+  /// copy-on-write engine snapshots a decision boundary.
+  using CowSaveFn = std::function<void(std::shared_ptr<void> &)>;
+  /// Restores the state saved by CowSaveFn after a fast-forward.
+  using CowRestoreFn = std::function<void(const std::shared_ptr<void> &)>;
+
   /// One instantiation of the program body. Parallel workers each hold
   /// their own Body, so closures built by a factory may freely mutate the
   /// state they capture.
+  ///
+  /// Copy-on-write eligibility (sim/Engine.h): a body that keeps NO state
+  /// across scheduler steps outside (a) the machine, (b) coroutine locals
+  /// recomputed from journaled operation results, may set CowSafe. A body
+  /// with extra cross-step state (the harness's spec monitor) instead
+  /// provides CowSave/CowRestore; the engine then snapshots/restores that
+  /// state at decision boundaries. Bodies with neither run under the
+  /// classic root-replay engine.
   struct Body {
     SetupFn Setup;
     CheckFn Check; ///< May be empty: every execution passes.
+    bool CowSafe = false;
+    CowSaveFn CowSave;
+    CowRestoreFn CowRestore;
+    /// Allows fast-forward to skip re-running steps of threads already
+    /// finished at the snapshot boundary (their coroutine frames are never
+    /// resumed in the subtree). Sound only when no live code reads a
+    /// finished thread's client-side effects outside the machine, the
+    /// monitor, and state covered by CowSave/CowRestore — e.g. the EBR
+    /// wrapper's ghost retire bins (sim/Ebr.h) live in the shared library
+    /// object and are recomputed by thread code, so EBR workloads must
+    /// leave this off.
+    bool CowSkipFinished = false;
+
+    Body() = default;
+    Body(SetupFn Setup, CheckFn Check = nullptr)
+        : Setup(std::move(Setup)), Check(std::move(Check)) {}
   };
 
   /// Produces a fresh Body; invoked once per worker.
@@ -178,29 +210,10 @@ inline std::string formatReplayCall(const std::vector<unsigned> &Decisions,
   return Out;
 }
 
-/// Runs \p W to completion under the serial explorer.
-inline Explorer::Summary exploreSerial(const Workload &W) {
-  Explorer Ex(W.options());
-  Workload::Body Body = W.makeBody();
-  // One machine/scheduler pair serves every execution (the arena pattern;
-  // see rmc::Machine::reset): steady-state replays allocate nothing.
-  rmc::Machine M(Ex);
-  Scheduler S(M, Ex);
-  S.setPreemptionBound(W.options().PreemptionBound);
-  S.setReduction(Ex.reduction());
-  while (Ex.beginExecution()) {
-    M.reset();
-    S.reset();
-    Body.Setup(M, S);
-    Scheduler::RunResult R = S.run(W.options().MaxStepsPerExec);
-    bool Ok = Body.Check ? Body.Check(M, S, R) : true;
-    Ex.recordCheck(Ok);
-    Ex.endExecution(R);
-    if (!Ok && W.options().StopOnViolation)
-      break;
-  }
-  return Ex.summary();
-}
+/// Runs \p W to completion under the serial explorer, re-establishing
+/// state between executions through the copy-on-write engine when the
+/// workload is eligible (see Body and sim/Engine.h). Defined in Engine.cpp.
+Explorer::Summary exploreSerial(const Workload &W);
 
 /// Runs \p W under the serial explorer, or under ParallelExplorer when
 /// Options::Workers > 1. Defined in ParallelExplorer.cpp.

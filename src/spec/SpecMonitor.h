@@ -49,6 +49,50 @@ namespace compass::spec {
 /// Records library events at commit points; see file comment.
 class SpecMonitor {
 public:
+  /// Rewinds to the freshly constructed state, keeping heap storage for
+  /// reuse. A monitor reused across the explorer's executions (the arena
+  /// pattern) reaches steady-state capacity once.
+  void reset() {
+    G.reset();
+    ObjectNames.clear();
+    ReplayPrefix = false;
+    RegCursor = 0;
+  }
+
+  /// Per-execution entry point for monitors reused across the explorer's
+  /// executions. On a normal (root) execution this is reset(). During a
+  /// copy-on-write fast-forward (M.replaying()) the graph is left at the
+  /// previous execution's state — the engine trims it to the snapshot
+  /// epoch afterwards — and the monitor switches to replay mode:
+  /// registerObject re-yields existing ids and reserve counts ids without
+  /// touching the graph (the id sequence is deterministic per prefix).
+  void beginExecution(const rmc::Machine &M) {
+    if (M.replaying()) {
+      ReplayPrefix = true;
+      RegCursor = 0;
+    } else {
+      reset();
+    }
+  }
+
+  /// A point in the monitor's mutation history; O(1) to capture, O(delta)
+  /// to rewind to. The copy-on-write engine stores these in its snapshot
+  /// slots instead of deep-copying the monitor.
+  struct Epoch {
+    graph::EventGraph::Epoch G;
+    unsigned NumObjects = 0;
+  };
+
+  Epoch epoch() const {
+    return {G.epoch(), static_cast<unsigned>(ObjectNames.size())};
+  }
+
+  void trimToEpoch(const Epoch &E) {
+    G.trimToEpoch(E.G);
+    ObjectNames.resize(E.NumObjects);
+    ReplayPrefix = false;
+  }
+
   /// Registers a library object; returns its ObjId.
   unsigned registerObject(std::string Name);
 
@@ -89,6 +133,12 @@ private:
 
   graph::EventGraph G;
   std::vector<std::string> ObjectNames;
+
+  /// Copy-on-write replay state (see beginExecution). Reservation ids come
+  /// from the machine's sequence counter (Machine::bumpReserveSeq), which
+  /// the scheduler's fast-forward can skip-jump per step.
+  bool ReplayPrefix = false;
+  unsigned RegCursor = 0; ///< Next object id to re-yield.
 };
 
 } // namespace compass::spec

@@ -16,6 +16,8 @@
 #ifndef COMPASS_SUPPORT_CHOICE_H
 #define COMPASS_SUPPORT_CHOICE_H
 
+#include <cstddef>
+
 namespace compass {
 
 /// Resolves one bounded nondeterministic choice at a time.
@@ -26,6 +28,12 @@ public:
   /// Returns a value in [0, Count). \p Count must be at least 1. \p Tag is a
   /// static string naming the decision kind, for diagnostics and traces.
   virtual unsigned choose(unsigned Count, const char *Tag) = 0;
+
+  /// Number of decisions this source has resolved in the current execution.
+  /// Exhaustive sources (the explorer's decision tree) report their position
+  /// so the copy-on-write engine can mark decision boundaries; sources with
+  /// no such notion return 0.
+  virtual size_t decisionPosition() const { return 0; }
 };
 
 /// A trivial source that always picks alternative 0 (the newest message, the

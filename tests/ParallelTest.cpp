@@ -68,7 +68,7 @@ Workload sbWorkload(unsigned Workers, bool FailOnWeak) {
   return Workload(Opts, [FailOnWeak]() -> Workload::Body {
     auto R0 = std::make_shared<Value>();
     auto R1 = std::make_shared<Value>();
-    return {
+    Workload::Body B{
         [R0, R1](Machine &M, Scheduler &S) {
           *R0 = *R1 = ~0ull;
           Loc X = M.alloc("x"), Y = M.alloc("y");
@@ -85,6 +85,10 @@ Workload sbWorkload(unsigned Workers, bool FailOnWeak) {
             return false; // the store-buffering outcome
           return true;
         }};
+    // The only client state is the two result sinks, fully rewritten by
+    // the fast-forward resume: safe for the copy-on-write engine.
+    B.CowSafe = true;
+    return B;
   });
 }
 
@@ -96,7 +100,7 @@ Workload mpWorkload(unsigned Workers, MemOrder StoreO, MemOrder LoadO) {
   return Workload(Opts, [StoreO, LoadO]() -> Workload::Body {
     auto Flag = std::make_shared<Value>();
     auto Data = std::make_shared<Value>();
-    return {
+    Workload::Body B{
         [=](Machine &M, Scheduler &S) {
           *Flag = *Data = 0;
           Loc X = M.alloc("x"), F = M.alloc("f");
@@ -110,6 +114,8 @@ Workload mpWorkload(unsigned Workers, MemOrder StoreO, MemOrder LoadO) {
             return false;
           return !(*Flag == 1 && *Data == 0); // no stale data
         }};
+    B.CowSafe = true; // sinks are rewritten by the fast-forward resume
+    return B;
   });
 }
 
@@ -120,7 +126,7 @@ Workload corrWorkload(unsigned Workers) {
   return Workload(Opts, []() -> Workload::Body {
     auto R1 = std::make_shared<Value>();
     auto R2 = std::make_shared<Value>();
-    return {
+    Workload::Body B{
         [R1, R2](Machine &M, Scheduler &S) {
           *R1 = *R2 = 0;
           Loc X = M.alloc("x");
@@ -132,6 +138,8 @@ Workload corrWorkload(unsigned Workers) {
         [R1, R2](Machine &, Scheduler &, Scheduler::RunResult) {
           return *R1 <= *R2;
         }};
+    B.CowSafe = true; // sinks are rewritten by the fast-forward resume
+    return B;
   });
 }
 
@@ -150,9 +158,11 @@ Workload msQueueWorkload(unsigned Workers) {
       std::vector<Value> Got0, Got1;
     };
     auto St = std::make_shared<State>();
-    return {
+    Workload::Body B{
         [St](Machine &M, Scheduler &S) {
-          St->Mon = std::make_unique<spec::SpecMonitor>();
+          if (!St->Mon)
+            St->Mon = std::make_unique<spec::SpecMonitor>();
+          St->Mon->beginExecution(M);
           St->Q = std::make_unique<lib::MsQueue>(M, *St->Mon, "q");
           St->Got0.clear();
           St->Got1.clear();
@@ -170,6 +180,28 @@ Workload msQueueWorkload(unsigned Workers) {
                                             St->Q->objId())
               .ok();
         }};
+    // Copy-on-write client state: the monitor's event graph rewinds by
+    // epoch; the dequeuers' result sinks are saved and restored whole.
+    struct CowState {
+      spec::SpecMonitor::Epoch MonEpoch;
+      std::vector<Value> Got0, Got1;
+    };
+    B.CowSave = [St](std::shared_ptr<void> &Slot) {
+      if (!Slot)
+        Slot = std::make_shared<CowState>();
+      auto &C = *std::static_pointer_cast<CowState>(Slot);
+      C.MonEpoch = St->Mon->epoch();
+      C.Got0 = St->Got0;
+      C.Got1 = St->Got1;
+    };
+    B.CowRestore = [St](const std::shared_ptr<void> &Slot) {
+      const auto &C = *std::static_pointer_cast<CowState>(Slot);
+      St->Mon->trimToEpoch(C.MonEpoch);
+      St->Got0 = C.Got0;
+      St->Got1 = C.Got1;
+    };
+    B.CowSkipFinished = true;
+    return B;
   });
 }
 
@@ -520,4 +552,104 @@ TEST(WorkloadTest, ReplayOfEveryExhaustiveTraceMatchesItsOutcome) {
     EXPECT_FALSE(RR.Diverged);
     EXPECT_EQ(*Shared, Outcomes[I]) << "trace " << I;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-path A/B: copy-on-write vs root replay (DESIGN.md Section 11)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Explorer::Summary exploreWithEngine(Workload W, EnginePath E) {
+  W.options().Engine = E;
+  return explore(W);
+}
+
+/// Pins the engine-equivalence guarantee across worker counts: the
+/// copy-on-write engine's summary core — including the first violating
+/// trace — is bit-identical to classic root replay's, at 1, 2, and 4
+/// workers. \p ExpectResumes additionally asserts the cow fast path
+/// actually engaged (CowResumes > 0), so the A/B never passes vacuously.
+void expectEngineAB(Workload (*Make)(unsigned), const char *Name,
+                    bool ExpectResumes) {
+  for (unsigned Wk : {1u, 2u, 4u}) {
+    Explorer::Summary Root =
+        exploreWithEngine(Make(Wk), EnginePath::RootReplay);
+    Explorer::Summary Cow = exploreWithEngine(Make(Wk), EnginePath::Auto);
+    EXPECT_EQ(Root.Perf.CowResumes, 0u)
+        << Name << " workers=" << Wk << ": RootReplay path took a snapshot";
+    if (ExpectResumes) {
+      EXPECT_GT(Cow.Perf.CowResumes, 0u)
+          << Name << " workers=" << Wk << ": cow path never engaged";
+    }
+    EXPECT_TRUE(Root.coreEquals(Cow))
+        << Name << " workers=" << Wk << "\nroot: " << Root.str()
+        << "\ncow:  " << Cow.str();
+    EXPECT_EQ(Root.firstViolationDecisions(), Cow.firstViolationDecisions())
+        << Name << " workers=" << Wk;
+  }
+}
+
+} // namespace
+
+TEST(ParallelEngineAB, MpLitmusRelaxed) {
+  expectEngineAB(
+      +[](unsigned W) {
+        return mpWorkload(W, MemOrder::Relaxed, MemOrder::Relaxed);
+      },
+      "MP rlx A/B", true);
+}
+
+TEST(ParallelEngineAB, MsQueueE2Workload) {
+  expectEngineAB(+[](unsigned W) { return msQueueWorkload(W); },
+                 "MS queue E2 A/B", true);
+}
+
+TEST(ParallelEngineAB, ConformancePristineMsQueue) {
+  expectEngineAB(
+      +[](unsigned W) {
+        return conformanceWorkload(check::Lib::MsQueue,
+                                   check::Mutation::None, 11, W);
+      },
+      "conformance ms_queue A/B", true);
+}
+
+TEST(ParallelEngineAB, ConformanceMutatedTreiberFirstViolation) {
+  expectEngineAB(
+      +[](unsigned W) {
+        return conformanceWorkload(check::Lib::TreiberStack,
+                                   check::Mutation::TreiberRelaxedPopHead,
+                                   13, W);
+      },
+      "conformance treiber mutant A/B", true);
+}
+
+TEST(ParallelEngineAB, CheckpointResumeMatchesRootReplay) {
+  // Reference: an uninterrupted serial root-replay run.
+  auto Make = +[](unsigned W) {
+    return conformanceWorkload(check::Lib::MsQueue, check::Mutation::None,
+                               11, W);
+  };
+  Explorer::Summary Ref = exploreWithEngine(Make(1), EnginePath::RootReplay);
+  ASSERT_TRUE(Ref.Exhausted);
+  ASSERT_GE(Ref.Executions, 6u) << "tree too small to interrupt mid-flight";
+
+  // Interrupt a 2-worker cow run mid-flight, then resume the snapshot at
+  // 4 workers (still cow): the stitched summary core must equal the
+  // uninterrupted root-replay reference bit for bit.
+  Workload Seg1W = Make(2);
+  Seg1W.options().Engine = EnginePath::Auto;
+  ExploreControl Ctl;
+  Ctl.InterruptAtExecs = Ref.Executions / 3;
+  ExploreResult Seg1 = exploreResumable(Seg1W, Ctl);
+  ASSERT_TRUE(Seg1.Interrupted) << "tree exhausted before the tripwire";
+  ASSERT_FALSE(Seg1.Snapshot.empty());
+
+  Workload Seg2W = Make(4);
+  Seg2W.options().Engine = EnginePath::Auto;
+  ExploreResult Seg2 =
+      exploreResumable(Seg2W, ExploreControl{}, &Seg1.Snapshot);
+  EXPECT_FALSE(Seg2.Interrupted);
+  EXPECT_TRUE(Ref.coreEquals(Seg2.Sum))
+      << "root-replay: " << Ref.str() << "\nresumed cow: " << Seg2.Sum.str();
 }

@@ -163,10 +163,9 @@ TEST_P(SeededProperty, MachineInvariantsUnderRandomSoup) {
     }
     for (Loc L2 = Base; L2 != Base + Locs; ++L2) {
       const Cell &Cell2 = M.memory().cell(L2);
-      for (size_t I = 0; I != Cell2.History.size(); ++I) {
-        EXPECT_EQ(Cell2.History[I].Ts, static_cast<Timestamp>(I));
+      for (size_t I = 0; I != Cell2.Len; ++I) {
         if (I > 0) { // Init message aside, writes know themselves.
-          EXPECT_GE(Cell2.History[I].Know.Phys.get(L2), 0u);
+          EXPECT_GE(Cell2.know(I).Phys.get(L2), 0u);
         }
       }
     }

@@ -78,7 +78,7 @@ Workload mpWorkload(unsigned Workers, MemOrder StoreO, MemOrder LoadO,
   return Workload(Opts, [StoreO, LoadO]() -> Workload::Body {
     auto Flag = std::make_shared<Value>();
     auto Data = std::make_shared<Value>();
-    return {
+    Workload::Body B{
         [=](Machine &M, Scheduler &S) {
           *Flag = *Data = 0;
           Loc X = M.alloc("x"), F = M.alloc("f");
@@ -92,6 +92,8 @@ Workload mpWorkload(unsigned Workers, MemOrder StoreO, MemOrder LoadO,
             return true; // sleep-pruned / pruned runs are not violations
           return !(*Flag == 1 && *Data == 0); // no stale data
         }};
+    B.CowSafe = true; // sinks are rewritten by the fast-forward resume
+    return B;
   });
 }
 
@@ -109,9 +111,11 @@ Workload msQueueWorkload(unsigned Workers, ReductionMode Red) {
       std::vector<Value> Got0, Got1;
     };
     auto St = std::make_shared<State>();
-    return {
+    Workload::Body B{
         [St](Machine &M, Scheduler &S) {
-          St->Mon = std::make_unique<spec::SpecMonitor>();
+          if (!St->Mon)
+            St->Mon = std::make_unique<spec::SpecMonitor>();
+          St->Mon->beginExecution(M);
           St->Q = std::make_unique<lib::MsQueue>(M, *St->Mon, "q");
           St->Got0.clear();
           St->Got1.clear();
@@ -129,6 +133,28 @@ Workload msQueueWorkload(unsigned Workers, ReductionMode Red) {
           return spec::checkQueueConsistent(St->Mon->graph(), St->Q->objId())
               .ok();
         }};
+    // Copy-on-write client state (same pattern as the harness bodies):
+    // monitor rewinds by epoch, result sinks restored whole.
+    struct CowState {
+      spec::SpecMonitor::Epoch MonEpoch;
+      std::vector<Value> Got0, Got1;
+    };
+    B.CowSave = [St](std::shared_ptr<void> &Slot) {
+      if (!Slot)
+        Slot = std::make_shared<CowState>();
+      auto &C = *std::static_pointer_cast<CowState>(Slot);
+      C.MonEpoch = St->Mon->epoch();
+      C.Got0 = St->Got0;
+      C.Got1 = St->Got1;
+    };
+    B.CowRestore = [St](const std::shared_ptr<void> &Slot) {
+      const auto &C = *std::static_pointer_cast<CowState>(Slot);
+      St->Mon->trimToEpoch(C.MonEpoch);
+      St->Got0 = C.Got0;
+      St->Got1 = C.Got1;
+    };
+    B.CowSkipFinished = true;
+    return B;
   });
 }
 
@@ -438,4 +464,59 @@ TEST(ReductionDeterminism, ReducedSweepFingerprintAcrossWorkers) {
   EXPECT_TRUE(Un.clean()) << Un.str();
   EXPECT_LT(R1.totalExecutions(), Un.totalExecutions());
   EXPECT_NE(R1.fingerprint(), Un.fingerprint());
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-path A/B under reduction (DESIGN.md Section 11)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Explorer::Summary exploreWithEngine(Workload W, EnginePath E) {
+  W.options().Engine = E;
+  return explore(W);
+}
+
+} // namespace
+
+TEST(ReductionEngineAB, MsQueueCowEqualsRootReplayAcrossWorkersAndModes) {
+  // The copy-on-write engine must be invisible to the reduction: summary
+  // cores (including SleepPruned) bit-identical to root replay under both
+  // reduction modes at 1/2/4 workers.
+  for (ReductionMode Red : {ReductionMode::None, ReductionMode::SleepSet})
+    for (unsigned Wk : {1u, 2u, 4u}) {
+      Explorer::Summary Root = exploreWithEngine(msQueueWorkload(Wk, Red),
+                                                 EnginePath::RootReplay);
+      Explorer::Summary Cow =
+          exploreWithEngine(msQueueWorkload(Wk, Red), EnginePath::Auto);
+      EXPECT_GT(Cow.Perf.CowResumes, 0u)
+          << "red=" << (Red == ReductionMode::SleepSet ? "sleep" : "none")
+          << " workers=" << Wk << ": cow path never engaged";
+      EXPECT_TRUE(Root.coreEquals(Cow))
+          << "red=" << (Red == ReductionMode::SleepSet ? "sleep" : "none")
+          << " workers=" << Wk << "\nroot: " << Root.str()
+          << "\ncow:  " << Cow.str();
+      expectReconciled(Cow, "MS queue cow A/B");
+    }
+}
+
+TEST(ReductionEngineAB, ReducedMpViolationsIdenticalAcrossEngines) {
+  // Violation-bearing workload: the reduced cow run surfaces the identical
+  // violation set and first violating trace as reduced root replay.
+  for (unsigned Wk : {1u, 2u, 4u}) {
+    Explorer::Summary Root = exploreWithEngine(
+        mpWorkload(Wk, MemOrder::Relaxed, MemOrder::Relaxed,
+                   ReductionMode::SleepSet),
+        EnginePath::RootReplay);
+    Explorer::Summary Cow = exploreWithEngine(
+        mpWorkload(Wk, MemOrder::Relaxed, MemOrder::Relaxed,
+                   ReductionMode::SleepSet),
+        EnginePath::Auto);
+    ASSERT_TRUE(Root.HasViolation);
+    EXPECT_TRUE(Root.coreEquals(Cow))
+        << "workers=" << Wk << "\nroot: " << Root.str()
+        << "\ncow:  " << Cow.str();
+    EXPECT_EQ(Root.firstViolationDecisions(), Cow.firstViolationDecisions())
+        << "workers=" << Wk;
+  }
 }

@@ -115,8 +115,8 @@ TEST(KnowledgeTest, JoinCombinesBothComponents) {
 TEST(MemoryTest, AllocCreatesInitMessage) {
   Memory M;
   Loc L = M.alloc("x", 1, 42);
-  EXPECT_EQ(M.cell(L).History.size(), 1u);
-  EXPECT_EQ(M.cell(L).latest().Val, 42u);
+  EXPECT_EQ(M.cell(L).Len, 1u);
+  EXPECT_EQ(M.cell(L).latestVal(), 42u);
   EXPECT_EQ(M.cell(L).latestTs(), 0u);
 }
 
@@ -124,7 +124,7 @@ TEST(MemoryTest, MultiCellAllocIsContiguous) {
   Memory M;
   Loc Base = M.alloc("arr", 3, 7);
   for (Loc I = 0; I < 3; ++I)
-    EXPECT_EQ(M.cell(Base + I).latest().Val, 7u);
+    EXPECT_EQ(M.cell(Base + I).latestVal(), 7u);
   EXPECT_EQ(M.size(), 3u);
 }
 
@@ -134,9 +134,9 @@ TEST(MemoryTest, AppendAssignsDenseTimestamps) {
   M.append(L, 1, Knowledge(), 0);
   M.append(L, 2, Knowledge(), 1);
   EXPECT_EQ(M.cell(L).latestTs(), 2u);
-  EXPECT_EQ(M.cell(L).History[1].Val, 1u);
-  EXPECT_EQ(M.cell(L).History[2].Val, 2u);
-  EXPECT_EQ(M.cell(L).History[2].Writer, 1u);
+  EXPECT_EQ(M.cell(L).val(1), 1u);
+  EXPECT_EQ(M.cell(L).val(2), 2u);
+  EXPECT_EQ(M.cell(L).writer(2), 1u);
 }
 
 TEST(MemoryTest, ReadableCount) {
