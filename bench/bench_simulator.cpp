@@ -13,6 +13,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "ExperimentUtil.h"
+#include "check/Harness.h"
+#include "check/ScenarioGen.h"
 #include "lib/MsQueue.h"
 #include "sim/ParallelExplorer.h"
 #include "sim/Workload.h"
@@ -177,10 +179,11 @@ Workload mpWorkload(unsigned Workers) {
 /// bound 2), checked against QueueConsistent every execution. The body
 /// factory gives each worker private monitor/queue state.
 Workload msQueueWorkload(unsigned Workers, uint64_t MaxExecutions,
-                         ReductionMode Red = ReductionMode::None) {
+                         ReductionMode Red = ReductionMode::None,
+                         unsigned Pb = 2) {
   Explorer::Options Opts;
   Opts.Workers = Workers;
-  Opts.PreemptionBound = 2;
+  Opts.PreemptionBound = Pb;
   Opts.MaxExecutions = MaxExecutions;
   Opts.Reduction = Red;
   return Workload(Opts, []() -> Workload::Body {
@@ -242,10 +245,10 @@ Workload msQueueWorkload(unsigned Workers, uint64_t MaxExecutions,
 /// the lock cell the dominant interleaving source — exactly the
 /// commuting-reads pattern the sleep-set reduction collapses.
 Workload lockedQueueWorkload(unsigned Workers, ReductionMode Red,
-                             uint64_t MaxExecutions) {
+                             uint64_t MaxExecutions, unsigned Pb = 2) {
   Explorer::Options Opts;
   Opts.Workers = Workers;
-  Opts.PreemptionBound = 2;
+  Opts.PreemptionBound = Pb;
   Opts.MaxExecutions = MaxExecutions;
   Opts.Reduction = Red;
   return Workload(Opts, []() -> Workload::Body {
@@ -342,28 +345,57 @@ void printScalingTable(const std::vector<ScaleRow> &Rows) {
 }
 
 //===----------------------------------------------------------------------===//
-// Sleep-set reduction before/after (E10)
+// Partial-order reduction before/after (E10 sleep sets, E14 source sets)
 //===----------------------------------------------------------------------===//
 
 struct RedRow {
   std::string Name;
   ReductionMode Red;
   Explorer::Summary Sum;
-  double ExecRatio = 1.0; ///< Unreduced executions / this row's executions.
-  double WallRatio = 1.0; ///< Unreduced wall / this row's wall.
+  double ExecRatio = 1.0;  ///< Unreduced executions / this row's executions.
+  double WallRatio = 1.0;  ///< Unreduced wall / this row's wall.
+  double VsSleep = 1.0;    ///< Sleep-set executions / this row's executions.
 };
 
 const char *redName(ReductionMode R) {
-  return R == ReductionMode::SleepSet ? "sleep-set" : "none";
+  switch (R) {
+  case ReductionMode::None:
+    return "none";
+  case ReductionMode::SleepSet:
+    return "sleep-set";
+  case ReductionMode::SourceSet:
+    return "source-set";
+  }
+  return "?";
+}
+
+/// One E9-style conformance scenario (3-thread MS queue, full
+/// reference-model verdict per execution) at preemption bound \p Pb —
+/// the per-scenario unit the conformance sweep runs thousands of times,
+/// so its reduction ratio is the one that decides whether pb=3 sweeps
+/// are reachable.
+Workload conformanceWorkload(unsigned Workers, ReductionMode Red,
+                             uint64_t MaxExecutions, unsigned Pb) {
+  check::GenOptions G;
+  G.MinThreads = G.MaxThreads = 3;
+  G.MinOpsPerThread = 2;
+  G.MaxOpsPerThread = 3;
+  check::Scenario S = check::generateScenario(
+      check::Lib::MsQueue, check::scenarioSeed(1, check::Lib::MsQueue, 0), G);
+  Explorer::Options Opts =
+      check::scenarioOptions(S, MaxExecutions, Workers, Red);
+  Opts.PreemptionBound = Pb;
+  return check::makeWorkload(S, check::Mutation::None, Opts);
 }
 
 void runReduction(std::vector<RedRow> &Rows, const std::string &Name,
                   Workload (*Make)(unsigned, ReductionMode, uint64_t),
                   uint64_t MaxExecutions) {
-  Explorer::Summary Base;
-  for (ReductionMode R : {ReductionMode::None, ReductionMode::SleepSet}) {
+  Explorer::Summary Base, Sleep;
+  for (ReductionMode R : {ReductionMode::None, ReductionMode::SleepSet,
+                          ReductionMode::SourceSet}) {
     Explorer::Summary Sum = explore(Make(1, R, MaxExecutions));
-    RedRow Row{Name, R, Sum, 1.0, 1.0};
+    RedRow Row{Name, R, Sum, 1.0, 1.0, 1.0};
     if (R == ReductionMode::None)
       Base = Sum;
     else {
@@ -375,42 +407,55 @@ void runReduction(std::vector<RedRow> &Rows, const std::string &Name,
                           ? Base.Perf.WallSeconds / Sum.Perf.WallSeconds
                           : 0.0;
     }
+    if (R == ReductionMode::SleepSet)
+      Sleep = Sum;
+    else if (R == ReductionMode::SourceSet)
+      Row.VsSleep = Sum.Executions
+                        ? static_cast<double>(Sleep.Executions) /
+                              static_cast<double>(Sum.Executions)
+                        : 0.0;
     Rows.push_back(std::move(Row));
   }
 }
 
 void printReductionTable(const std::vector<RedRow> &Rows) {
-  std::printf("\nE10: sleep-set partial-order reduction, before/after "
-              "(serial, pb=2)\n\n");
+  std::printf("\nE10/E14: partial-order reduction before/after (serial; "
+              "sleep sets vs source-set DPOR + rf pruning + state cache)\n\n");
   bench::Table T({"workload", "reduction", "executions", "sleep-pruned",
-                  "completed", "exhausted", "wall s", "execs/sec",
-                  "exec ratio"});
+                  "rf-pruned", "src-pruned", "cache-hits", "exhausted",
+                  "wall s", "exec ratio", "vs sleep"});
   for (const RedRow &R : Rows)
     T.addRow({R.Name, redName(R.Red), bench::fmtU64(R.Sum.Executions),
               bench::fmtU64(R.Sum.SleepPruned),
-              bench::fmtU64(R.Sum.Completed),
+              bench::fmtU64(R.Sum.RfPruned),
+              bench::fmtU64(R.Sum.SourcePruned),
+              bench::fmtU64(R.Sum.CacheHits),
               R.Sum.Exhausted ? "yes" : "no",
               fmtF(R.Sum.Perf.WallSeconds, "%.2f"),
-              fmtF(R.Sum.Perf.ExecsPerSec),
               R.Red == ReductionMode::None ? "1.00x"
-                                           : fmtF(R.ExecRatio, "%.2fx")});
+                                           : fmtF(R.ExecRatio, "%.2fx"),
+              R.Red == ReductionMode::SourceSet ? fmtF(R.VsSleep, "%.2fx")
+                                                : "-"});
   T.print();
 }
 
 void writeJson(const std::vector<ScaleRow> &Rows,
                const std::vector<RedRow> &RedRows,
                const std::string &OutDir) {
+  const unsigned Hw = std::thread::hardware_concurrency();
   JsonWriter J;
   J.beginObject();
   J.field("experiment", "P4b parallel exploration scaling");
-  J.field("hardware_threads",
-          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  J.field("hardware_threads", static_cast<uint64_t>(Hw));
   J.key("rows");
   J.beginArray();
   for (const ScaleRow &R : Rows) {
     J.beginObject();
     J.field("workload", R.Name);
     J.field("workers", R.Workers);
+    // Stamped at produce time so comparisons on a different machine still
+    // know this row measured scheduler thrash, not the engine.
+    J.field("oversubscribed", R.Workers > Hw);
     J.field("executions", R.Sum.Executions);
     J.field("exhausted", R.Sum.Exhausted);
     J.field("violations", R.Sum.Violations);
@@ -431,12 +476,16 @@ void writeJson(const std::vector<ScaleRow> &Rows,
     J.field("reduction", redName(R.Red));
     J.field("executions", R.Sum.Executions);
     J.field("sleep_pruned", R.Sum.SleepPruned);
+    J.field("rf_pruned", R.Sum.RfPruned);
+    J.field("source_pruned", R.Sum.SourcePruned);
+    J.field("cache_hits", R.Sum.CacheHits);
     J.field("completed", R.Sum.Completed);
     J.field("exhausted", R.Sum.Exhausted);
     J.field("wall_seconds", R.Sum.Perf.WallSeconds);
     J.field("execs_per_sec", R.Sum.Perf.ExecsPerSec);
     J.field("exec_ratio_vs_unreduced", R.ExecRatio);
     J.field("wall_ratio_vs_unreduced", R.WallRatio);
+    J.field("exec_ratio_vs_sleep", R.VsSleep);
     J.endObject();
   }
   J.endArray();
@@ -467,13 +516,29 @@ int main(int argc, char **argv) {
   printScalingTable(Rows);
 
   std::vector<RedRow> RedRows;
-  runReduction(RedRows, "locked queue (E7, pb=2)", lockedQueueWorkload,
+  runReduction(RedRows, "locked queue (E7, pb=2)",
+               +[](unsigned W, ReductionMode R, uint64_t Max) {
+                 return lockedQueueWorkload(W, R, Max, 2);
+               },
                4'000'000);
   runReduction(RedRows, "MS queue (E2, pb=2)",
                +[](unsigned W, ReductionMode R, uint64_t Max) {
-                 return msQueueWorkload(W, Max, R);
+                 return msQueueWorkload(W, Max, R, 2);
                },
                4'000'000);
+  // The pb=3 rows are the acceptance bar for source-set DPOR: the E7
+  // locked queue and an E9 conformance scenario, where sleep sets alone
+  // left pb=3 out of reach (ROADMAP item 2).
+  runReduction(RedRows, "locked queue (E7, pb=3)",
+               +[](unsigned W, ReductionMode R, uint64_t Max) {
+                 return lockedQueueWorkload(W, R, Max, 3);
+               },
+               8'000'000);
+  runReduction(RedRows, "conformance MS queue (E9, pb=3)",
+               +[](unsigned W, ReductionMode R, uint64_t Max) {
+                 return conformanceWorkload(W, R, Max, 3);
+               },
+               8'000'000);
   printReductionTable(RedRows);
 
   writeJson(Rows, RedRows, OutDir);

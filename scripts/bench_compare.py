@@ -85,10 +85,20 @@ def hardware_threads(report):
     return int(v)
 
 
-def oversubscribed(key, hw):
+def oversubscribed(key, hw, nrow=None):
     """True for a multi-worker scaling row run on a machine with fewer
     hardware threads than workers: its throughput measures scheduler
-    thrash, not the engine, so it is exempt from regression checks."""
+    thrash, not the engine, so it is exempt from regression checks.
+
+    Newer reports stamp each scaling row with an `oversubscribed` boolean
+    at produce time (the producing machine knows its own thread count even
+    when the report is compared elsewhere); that stamp wins when present.
+    The hardware_threads inference remains as a fallback for reports
+    produced before the stamp existed."""
+    if isinstance(nrow, dict):
+        stamp = nrow.get("oversubscribed")
+        if isinstance(stamp, bool):
+            return stamp
     kind, _workload, variant = key
     if kind != "scaling" or hw is None:
         return False
@@ -108,9 +118,8 @@ def compare(new, base, threshold, strict, hw=None):
         if nrow is None:
             print(f"  removed (no new row): {fmt_key(key)}")
             continue
-        if oversubscribed(key, hw):
-            print(f"  skipped (oversubscribed: {fmt_key(key)} on "
-                  f"{hw} hardware thread{'s' if hw != 1 else ''})")
+        if oversubscribed(key, hw, nrow):
+            print(f"  skipped (oversubscribed): {fmt_key(key)}")
             continue
         b, n = metric(brow), metric(nrow)
         if b is None:
@@ -271,6 +280,29 @@ def self_test():
               "reduction_rows": base["reduction_rows"]}
     code, out = run(plenty, one_core_base, strict=True)
     check("4-worker regression counts with 8 hardware threads", code == 1)
+
+    # 9. Rows stamped `oversubscribed` at produce time: the stamp wins over
+    #    the hardware_threads inference in both directions, so a report
+    #    compared on a different machine keeps the producing machine's
+    #    verdict.
+    def stamped(workload, workers, eps, over):
+        r = row(workload, workers, eps)
+        r["oversubscribed"] = over
+        return r
+    stamped_true = {"hardware_threads": 8,
+                    "rows": [row("queue", 1, 1000.0),
+                             stamped("queue", 4, 100.0, True)],
+                    "reduction_rows": base["reduction_rows"]}
+    code, out = run(stamped_true, one_core_base, strict=True)
+    check("stamped-true row skipped despite ample threads", code == 0)
+    check("stamped-true row reported skipped",
+          "skipped (oversubscribed)" in out)
+    stamped_false = {"hardware_threads": 1,
+                     "rows": [row("queue", 1, 1000.0),
+                              stamped("queue", 4, 100.0, False)],
+                     "reduction_rows": base["reduction_rows"]}
+    code, out = run(stamped_false, one_core_base, strict=True)
+    check("stamped-false row counts despite 1 thread", code == 1)
 
     if failures:
         print(f"\nself-test FAILED: {len(failures)} check(s)")

@@ -5,15 +5,22 @@
 // single tokens, "%" standing in for the empty string):
 //
 //   compass sweep-checkpoint v1
-//   config <Seed> <ScenariosPerLib> <MaxExecsPerScenario> <none|sleep>
+//   config <Seed> <ScenariosPerLib> <MaxExecsPerScenario>
+//          <none|sleep|source> <auto|root>
 //   gen <MinThreads> <MaxThreads> <MinOps> <MaxOps> <MinPre> <MaxPre>
 //   libs <N>
 //   lib <name>                                          (N lines)
 //   progress <Fp> <LibIndex> <ScenarioIndex> <NDone> <HasScenario>
 //            <ScenarioLinAborts>
 //   stat <lib> <Scenarios> <Executions> <Completed> <Races> <Deadlocks>
-//        <Violations> <SleepPruned> <MaxDepth> <LinAborts> <Truncated>
+//        <Violations> <SleepPruned> <RfPruned> <SourcePruned> <CacheHits>
+//        <MaxDepth> <LinAborts> <Truncated>
 //        <FirstBadScenario> <FirstBad>        (NDone lines, then CurLib)
+//
+// The config line records the reduction mode and engine path the executed
+// share ran under; resuming under a different one would splice
+// incompatible exploration states (the caller enforces the match — see
+// compass_check sweep --resume).
 //   snapshot v1 ... end snapshot              (iff HasScenario; the
 //                                              embedded sim grammar)
 //   end sweep-checkpoint
@@ -151,6 +158,7 @@ void writeStat(std::ostringstream &OS, const LibSweepStats &St) {
   OS << "stat " << libName(St.L) << ' ' << St.Scenarios << ' '
      << St.Executions << ' ' << St.Completed << ' ' << St.Races << ' '
      << St.Deadlocks << ' ' << St.Violations << ' ' << St.SleepPruned << ' '
+     << St.RfPruned << ' ' << St.SourcePruned << ' ' << St.CacheHits << ' '
      << St.MaxDepth << ' ' << St.LinAborts << ' ' << St.Truncated << ' '
      << St.FirstBadScenario << ' ' << encodeToken(St.FirstBad) << '\n';
 }
@@ -166,7 +174,9 @@ bool parseStat(Cursor &C, LibSweepStats &St) {
     return C.fail("bad library in stat record");
   if (!F.num(St.Scenarios) || !F.num(St.Executions) || !F.num(St.Completed) ||
       !F.num(St.Races) || !F.num(St.Deadlocks) || !F.num(St.Violations) ||
-      !F.num(St.SleepPruned) || !F.num(St.MaxDepth) || !F.num(St.LinAborts) ||
+      !F.num(St.SleepPruned) || !F.num(St.RfPruned) ||
+      !F.num(St.SourcePruned) || !F.num(St.CacheHits) ||
+      !F.num(St.MaxDepth) || !F.num(St.LinAborts) ||
       !F.num(St.Truncated) || !F.num(St.FirstBadScenario) || !F.word(Enc) ||
       !decodeToken(Enc, St.FirstBad))
     return C.fail("malformed stat record");
@@ -180,8 +190,8 @@ std::string check::serializeSweepCheckpoint(const SweepCheckpoint &C) {
   OS << "compass sweep-checkpoint v1\n";
   OS << "config " << C.Seed << ' ' << C.ScenariosPerLib << ' '
      << C.MaxExecutionsPerScenario << ' '
-     << (C.Reduction == sim::ReductionMode::SleepSet ? "sleep" : "none")
-     << '\n';
+     << sim::reductionModeName(C.Reduction) << ' '
+     << sim::enginePathName(C.Engine) << '\n';
   OS << "gen " << C.Gen.MinThreads << ' ' << C.Gen.MaxThreads << ' '
      << C.Gen.MinOpsPerThread << ' ' << C.Gen.MaxOpsPerThread << ' '
      << C.Gen.MinPreemptions << ' ' << C.Gen.MaxPreemptions << '\n';
@@ -220,17 +230,15 @@ bool check::parseSweepCheckpoint(std::string_view Text, SweepCheckpoint &Out,
     return Done(false);
   {
     Fields F(C.Line);
-    std::string Red;
+    std::string Red, Eng;
     if (!expectKeyword(C, "config", F) || !F.num(Out.Seed) ||
         !F.num(Out.ScenariosPerLib) || !F.num(Out.MaxExecutionsPerScenario) ||
-        !F.word(Red))
+        !F.word(Red) || !F.word(Eng))
       return Done(C.fail("malformed config record"));
-    if (Red == "sleep")
-      Out.Reduction = sim::ReductionMode::SleepSet;
-    else if (Red == "none")
-      Out.Reduction = sim::ReductionMode::None;
-    else
+    if (!sim::parseReductionMode(Red, Out.Reduction))
       return Done(C.fail("unknown reduction '" + Red + "'"));
+    if (!sim::parseEnginePath(Eng, Out.Engine))
+      return Done(C.fail("unknown engine path '" + Eng + "'"));
   }
 
   if (!C.next())

@@ -58,7 +58,11 @@ struct SweepCheckpoint {
   uint64_t Seed = 1;
   unsigned ScenariosPerLib = 50;
   uint64_t MaxExecutionsPerScenario = 200000;
-  sim::ReductionMode Reduction = sim::ReductionMode::SleepSet;
+  sim::ReductionMode Reduction = sim::ReductionMode::SourceSet;
+  /// Engine path the sweep ran under. Recorded (like Reduction) so a
+  /// resume cannot silently continue under a different configuration than
+  /// the one that produced the executed share.
+  sim::EnginePath Engine = sim::EnginePath::Auto;
   std::vector<Lib> Libs; ///< Resolved library list (never empty).
   GenOptions Gen;
 

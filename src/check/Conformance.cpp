@@ -36,6 +36,7 @@ SweepResult check::runSweepResumable(const SweepOptions &OIn,
     O.ScenariosPerLib = Resume->ScenariosPerLib;
     O.MaxExecutionsPerScenario = Resume->MaxExecutionsPerScenario;
     O.Reduction = Resume->Reduction;
+    O.Engine = Resume->Engine;
     O.Gen = Resume->Gen;
     Libs = Resume->Libs;
     Li0 = Resume->LibIndex;
@@ -96,6 +97,7 @@ SweepResult check::runSweepResumable(const SweepOptions &OIn,
     K.ScenariosPerLib = O.ScenariosPerLib;
     K.MaxExecutionsPerScenario = O.MaxExecutionsPerScenario;
     K.Reduction = O.Reduction;
+    K.Engine = O.Engine;
     K.Libs = Libs;
     K.Gen = O.Gen;
     K.Fp = Rep.Fp;
@@ -119,6 +121,9 @@ SweepResult check::runSweepResumable(const SweepOptions &OIn,
       P.Deadlocks += D.Deadlocks;
       P.Violations += D.Violations;
       P.SleepPruned += D.SleepPruned;
+      P.RfPruned += D.RfPruned;
+      P.SourcePruned += D.SourcePruned;
+      P.CacheHits += D.CacheHits;
     }
     P.Scenarios += St.Scenarios;
     P.Executions += St.Executions;
@@ -127,6 +132,9 @@ SweepResult check::runSweepResumable(const SweepOptions &OIn,
     P.Deadlocks += St.Deadlocks;
     P.Violations += St.Violations;
     P.SleepPruned += St.SleepPruned;
+    P.RfPruned += St.RfPruned;
+    P.SourcePruned += St.SourcePruned;
+    P.CacheHits += St.CacheHits;
     return P;
   };
 
@@ -143,7 +151,7 @@ SweepResult check::runSweepResumable(const SweepOptions &OIn,
       Scenario S = generateScenario(L, scenarioSeed(O.Seed, L, I), O.Gen);
       sim::Explorer::Options Opts =
           scenarioOptions(S, O.MaxExecutionsPerScenario, O.Workers,
-                          O.Reduction);
+                          O.Reduction, O.Engine);
 
       // Explore the scenario, possibly across several interrupted
       // segments (cadence checkpoints resume in-process; a stop request
@@ -215,6 +223,9 @@ SweepResult check::runSweepResumable(const SweepOptions &OIn,
       St.Deadlocks += Sum.Deadlocks;
       St.Violations += Sum.Violations;
       St.SleepPruned += Sum.SleepPruned;
+      St.RfPruned += Sum.RfPruned;
+      St.SourcePruned += Sum.SourcePruned;
+      St.CacheHits += Sum.CacheHits;
       St.MaxDepth = std::max(St.MaxDepth, Sum.MaxDepth);
       St.LinAborts += LinBase;
       St.Truncated += !Sum.Exhausted;
@@ -232,6 +243,9 @@ SweepResult check::runSweepResumable(const SweepOptions &OIn,
         Mix(Sum.Deadlocks);
         Mix(Sum.Violations);
         Mix(Sum.SleepPruned);
+        Mix(Sum.RfPruned);
+        Mix(Sum.SourcePruned);
+        Mix(Sum.CacheHits);
         Mix(Sum.MaxDepth);
       }
       if (Sum.HasViolation && St.FirstBadScenario == ~0u) {
@@ -340,6 +354,9 @@ std::string SweepReport::json() const {
     J.field("deadlocks", St.Deadlocks);
     J.field("violations", St.Violations);
     J.field("sleep_pruned", St.SleepPruned);
+    J.field("rf_pruned", St.RfPruned);
+    J.field("source_pruned", St.SourcePruned);
+    J.field("cache_hits", St.CacheHits);
     J.field("lin_aborts", St.LinAborts);
     J.field("truncated", St.Truncated);
     J.field("max_depth", St.MaxDepth);

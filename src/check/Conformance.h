@@ -42,8 +42,13 @@ struct SweepOptions {
   GenOptions Gen;
   /// State-space reduction used per scenario (None = unreduced baseline;
   /// changes the fingerprint, since exhausted scenarios then fold
-  /// different execution counts).
-  sim::ReductionMode Reduction = sim::ReductionMode::SleepSet;
+  /// different execution counts). Source sets are the default: the
+  /// strongest reduction with identical verdicts (DESIGN.md §12).
+  sim::ReductionMode Reduction = sim::ReductionMode::SourceSet;
+  /// Execution engine path per scenario. Functionally invisible (summaries
+  /// are bit-identical across paths), but recorded in checkpoints so a
+  /// resume cannot silently flip the engine under a comparison run.
+  sim::EnginePath Engine = sim::EnginePath::Auto;
 };
 
 /// Deterministic per-library aggregate (sum of Summary cores).
@@ -55,7 +60,13 @@ struct LibSweepStats {
   uint64_t Races = 0;
   uint64_t Deadlocks = 0;
   uint64_t Violations = 0;
-  uint64_t SleepPruned = 0; ///< Branches cut by the sleep-set reduction.
+  uint64_t SleepPruned = 0; ///< Branches cut by the sleep/source reduction.
+  uint64_t RfPruned = 0;    ///< Restricted re-runs with no fresh reads-from
+                            ///< options (source-set mode).
+  uint64_t SourcePruned = 0; ///< Covered sched siblings skipped without an
+                             ///< execution (source-set mode).
+  uint64_t CacheHits = 0; ///< Reads-from duplicate subtrees skipped without
+                          ///< an execution (source-set mode).
   uint64_t MaxDepth = 0; ///< Max over the library's scenarios.
   uint64_t LinAborts = 0; ///< Executions whose witness search hit budget.
   unsigned Truncated = 0; ///< Scenarios whose tree hit the execution cap.
@@ -102,7 +113,7 @@ struct MutationOptions {
   std::vector<Mutation> Muts; ///< Empty = all mutations (excluding None).
   /// State-space reduction used while hunting (replay/shrink verification
   /// of the final counterexample always runs unreduced).
-  sim::ReductionMode Reduction = sim::ReductionMode::SleepSet;
+  sim::ReductionMode Reduction = sim::ReductionMode::SourceSet;
 };
 
 struct MutantReport {

@@ -179,7 +179,8 @@ Verdict ContainerAdapter::verdict(
 sim::Explorer::Options check::scenarioOptions(const Scenario &S,
                                               uint64_t MaxExecutions,
                                               unsigned Workers,
-                                              sim::ReductionMode Red) {
+                                              sim::ReductionMode Red,
+                                              sim::EnginePath Engine) {
   sim::Explorer::Options O;
   O.ExploreMode = sim::Explorer::Mode::Exhaustive;
   O.MaxExecutions = MaxExecutions;
@@ -187,6 +188,7 @@ sim::Explorer::Options check::scenarioOptions(const Scenario &S,
   O.Workers = Workers;
   O.StopOnViolation = false; // Keep summaries worker-count independent.
   O.Reduction = Red;
+  O.Engine = Engine;
   return O;
 }
 
@@ -228,8 +230,14 @@ sim::Workload::Body bodyFor(std::shared_ptr<RunState> St) {
       St->LastVerdict = Verdict{};
       return true;
     case sim::Scheduler::RunResult::SleepPruned:
-      // Branch cut by the sleep-set reduction: everything below it is
-      // equivalent to an explored sibling, so there is nothing to check.
+      // Branch cut by the sleep/source-set reduction: everything below it
+      // is equivalent to an explored sibling, so there is nothing to check.
+      St->LastVerdict = Verdict{};
+      return true;
+    case sim::Scheduler::RunResult::RfPruned:
+      // A restricted re-run whose fresh reads-from options came up empty:
+      // every execution below it reads below the watermark and commutes
+      // back to an explored sibling. Nothing to check.
       St->LastVerdict = Verdict{};
       return true;
     case sim::Scheduler::RunResult::Race:

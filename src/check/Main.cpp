@@ -9,13 +9,14 @@
 ///
 ///   compass_check sweep   [--seed N] [--per-lib N] [--workers N]
 ///                         [--max-execs N] [--lib NAME]...
-///                         [--reduction none|sleep] [--json]
+///                         [--reduction none|sleep|source]
+///                         [--engine auto|root] [--json]
 ///                         [--checkpoint FILE] [--checkpoint-every N|Ns]
 ///                         [--time-budget SECS] [--telemetry FILE]
 ///                         [--resume FILE]
 ///   compass_check mutants [--seed N] [--max-scenarios N] [--max-execs N]
 ///                         [--mut NAME]... [--no-shrink] [--emit-corpus DIR]
-///                         [--reduction none|sleep]
+///                         [--reduction none|sleep|source]
 ///   compass_check replay  FILE...
 ///
 /// `sweep` explores generated scenarios against the pristine libraries and
@@ -29,6 +30,11 @@
 /// a survivor) and can persist the shrunk counterexamples as corpus files.
 /// `replay` re-executes corpus entries and exits nonzero when one no
 /// longer reproduces its violation.
+///
+/// A checkpoint records the reduction mode and engine path of its executed
+/// share; `--resume` rejects (exit 2) an explicit `--reduction`/`--engine`
+/// that contradicts it, rather than silently continuing under either
+/// configuration.
 ///
 /// Exit codes: 0 success, 1 violations/survivors, 2 usage error,
 /// 3 interrupted (sweep checkpoint written).
@@ -63,13 +69,14 @@ namespace {
                "usage:\n"
                "  compass_check sweep   [--seed N] [--per-lib N] "
                "[--workers N] [--max-execs N] [--lib NAME]... "
-               "[--reduction none|sleep] [--json]\n"
+               "[--reduction none|sleep|source] [--engine auto|root] "
+               "[--json]\n"
                "                        [--checkpoint FILE] "
                "[--checkpoint-every N|Ns] [--time-budget SECS] "
                "[--telemetry FILE] [--resume FILE]\n"
                "  compass_check mutants [--seed N] [--max-scenarios N] "
                "[--max-execs N] [--mut NAME]... [--no-shrink] "
-               "[--emit-corpus DIR] [--reduction none|sleep]\n"
+               "[--emit-corpus DIR] [--reduction none|sleep|source]\n"
                "  compass_check replay  FILE...\n"
                "numeric flags take unsigned decimal values; --workers "
                "must be >= 1; --checkpoint-every takes executions (N) or "
@@ -132,12 +139,18 @@ const char *flagValue(int Argc, char **Argv, int &I, const char *Name) {
 }
 
 sim::ReductionMode parseReduction(const char *V) {
-  std::string S = V;
-  if (S == "none")
-    return sim::ReductionMode::None;
-  if (S == "sleep")
-    return sim::ReductionMode::SleepSet;
-  usage((std::string("bad value for --reduction (none|sleep): ") + V).c_str());
+  sim::ReductionMode M;
+  if (!sim::parseReductionMode(V, M))
+    usage((std::string("bad value for --reduction (none|sleep|source): ") + V)
+              .c_str());
+  return M;
+}
+
+sim::EnginePath parseEngine(const char *V) {
+  sim::EnginePath P;
+  if (!sim::parseEnginePath(V, P))
+    usage((std::string("bad value for --engine (auto|root): ") + V).c_str());
+  return P;
 }
 
 /// Cooperative stop flag set by SIGINT/SIGTERM (sweep only).
@@ -148,6 +161,7 @@ void handleStopSignal(int) { GStopRequested.store(true); }
 int cmdSweep(int Argc, char **Argv) {
   SweepOptions O;
   bool Json = false;
+  bool RedSet = false, EngSet = false;
   std::string CkptPath = "compass_sweep.ckpt";
   std::string ResumePath, TelemPath;
   uint64_t CkptEveryExecs = 0;
@@ -173,10 +187,14 @@ int cmdSweep(int Argc, char **Argv) {
       if (!parseLib(Name, L))
         usage((std::string("unknown library ") + Name).c_str());
       O.Libs.push_back(L);
-    } else if (A == "--reduction")
+    } else if (A == "--reduction") {
       O.Reduction =
           parseReduction(flagValue(Argc, Argv, I, "--reduction"));
-    else if (A == "--json")
+      RedSet = true;
+    } else if (A == "--engine") {
+      O.Engine = parseEngine(flagValue(Argc, Argv, I, "--engine"));
+      EngSet = true;
+    } else if (A == "--json")
       Json = true;
     else if (A == "--checkpoint")
       CkptPath = flagValue(Argc, Argv, I, "--checkpoint");
@@ -220,6 +238,28 @@ int cmdSweep(int Argc, char **Argv) {
       return 2;
     }
     HasResume = true;
+    // A checkpoint's executed share is tied to the reduction mode and
+    // engine path that produced it; splicing in a different one would
+    // produce a fingerprint belonging to neither configuration. An
+    // explicit contradicting flag is an error, not a preference.
+    if (RedSet && O.Reduction != Resume.Reduction) {
+      std::fprintf(stderr,
+                   "compass_check: --reduction %s contradicts checkpoint %s "
+                   "(recorded under --reduction %s); resume without the "
+                   "flag or restart the sweep\n",
+                   sim::reductionModeName(O.Reduction), ResumePath.c_str(),
+                   sim::reductionModeName(Resume.Reduction));
+      return 2;
+    }
+    if (EngSet && O.Engine != Resume.Engine) {
+      std::fprintf(stderr,
+                   "compass_check: --engine %s contradicts checkpoint %s "
+                   "(recorded under --engine %s); resume without the flag "
+                   "or restart the sweep\n",
+                   sim::enginePathName(O.Engine), ResumePath.c_str(),
+                   sim::enginePathName(Resume.Engine));
+      return 2;
+    }
   }
 
   std::signal(SIGINT, handleStopSignal);
@@ -295,6 +335,7 @@ int cmdSweep(int Argc, char **Argv) {
       Eff.ScenariosPerLib = Resume.ScenariosPerLib;
       Eff.MaxExecutionsPerScenario = Resume.MaxExecutionsPerScenario;
       Eff.Reduction = Resume.Reduction;
+      Eff.Engine = Resume.Engine;
       for (const LibSweepStats &St : Resume.DoneLibs)
         Base += St.Executions;
       Base += Resume.CurLib.Executions;

@@ -57,11 +57,14 @@ struct ShrinkResult {
 /// True when exploring \p S against \p Mut finds a violating execution
 /// within \p MaxExecutions; on success \p FailingOut receives the first
 /// violation's decision trace. \p Red picks the state-space reduction used
-/// for the hunt; the trace handed back replays fine either way, because
-/// sim::replay never prunes (reduction only skips *unexplored* siblings).
+/// for the hunt; the trace handed back replays fine under every mode,
+/// because sim::replay never enables reduction — and a source-set
+/// restricted choice set is a *prefix* of the unrestricted newest-first
+/// enumeration, so a restricted run's recorded indices mean the same
+/// thing reduction-free.
 bool scenarioFails(const Scenario &S, Mutation Mut, uint64_t MaxExecutions,
                    std::vector<unsigned> &FailingOut,
-                   sim::ReductionMode Red = sim::ReductionMode::SleepSet);
+                   sim::ReductionMode Red = sim::ReductionMode::SourceSet);
 
 /// Shrinks \p S (known to fail against \p Mut via \p Decisions) per the
 /// file comment. The returned scenario and trace are guaranteed to still

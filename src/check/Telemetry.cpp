@@ -53,8 +53,8 @@ void Telemetry::runStart(const SweepOptions &O, const std::vector<Lib> &Libs,
   J.field("workers", O.Workers);
   J.field("per_lib", O.ScenariosPerLib);
   J.field("max_execs_per_scenario", O.MaxExecutionsPerScenario);
-  J.field("reduction",
-          O.Reduction == sim::ReductionMode::SleepSet ? "sleep" : "none");
+  J.field("reduction", sim::reductionModeName(O.Reduction));
+  J.field("engine", sim::enginePathName(O.Engine));
   J.key("libs");
   J.beginArray();
   for (Lib L : Libs)
@@ -98,6 +98,9 @@ void Telemetry::heartbeat(const char *LibName, unsigned ScenarioIndex,
   J.field("deadlocks", Sweep.Deadlocks);
   J.field("violations", Sweep.Violations);
   J.field("sleep_pruned", Sweep.SleepPruned);
+  J.field("rf_pruned", Sweep.RfPruned);
+  J.field("source_pruned", Sweep.SourcePruned);
+  J.field("cache_hits", Sweep.CacheHits);
   J.endObject();
   J.endObject();
   emit(J.str());

@@ -53,6 +53,9 @@ struct SweepProgress {
   uint64_t Deadlocks = 0;
   uint64_t Violations = 0;
   uint64_t SleepPruned = 0;
+  uint64_t RfPruned = 0;
+  uint64_t SourcePruned = 0;
+  uint64_t CacheHits = 0;
 };
 
 /// Append-only JSONL sink; see file comment. Thread-safe (heartbeats

@@ -60,6 +60,14 @@ struct Footprint {
   Loc L = 0;            ///< Touched location (meaningless for Start/Fence).
   Kind K = Kind::None;  ///< Access kind.
   bool Sc = false;      ///< Step joins/updates the global SC view.
+  /// Whether the access is atomic. Non-atomic accesses are excluded from
+  /// the source-set refinement below: the machine's race detector is
+  /// read-side asymmetric (the accessor must have observed the whole
+  /// history), so both access orders of a non-atomic/atomic pair must be
+  /// explored for the complementary race direction to surface. Excluded
+  /// from operator== so sleep snapshots written before the flag existed
+  /// still validate (the flag is derived, never free).
+  bool Atomic = false;
 
   bool isRead() const { return K == Kind::Read; }
 
@@ -99,6 +107,46 @@ inline bool independent(const Footprint &A, const Footprint &B) {
   if (A.L != B.L)
     return true; // Distinct cells: view effects are thread-local.
   return A.isRead() && B.isRead(); // Same cell: only read/read commutes.
+}
+
+/// Source-set refinement (DESIGN.md Section 12): whether a *sleeping* move
+/// with footprint \p Asleep may stay asleep after a step with footprint
+/// \p Done executed — even though the pair is dependent in the classic
+/// independence relation — because every execution that delays the sleeping
+/// move past the executed step and resolves its reads-from below the
+/// sleeping move's history watermark commutes, state-exactly, back to the
+/// already-explored sibling that ran the sleeping move first:
+///  * executed Read vs sleeping Write/Update: reads never grow the history,
+///    so the delayed write/update appends at the identical timestamp and
+///    the read's view raise touches only its own thread — exact commute;
+///  * executed Write/Update vs sleeping Read, and executed Write vs
+///    sleeping Update: a read of a message *below* the watermark commutes
+///    with the later append; only reads of messages appended since the
+///    sleep are genuinely new, and the watermark (SleepMove::Ver) restricts
+///    the delayed operation to exactly those.
+/// Write/Write and Update-vs-sleeping-Write/Update pairs reverse the
+/// modification order itself and must wake classically. The refinement
+/// requires both footprints atomic (see Footprint::Atomic) and non-SC
+/// (SC steps join the global SC view, which never commutes).
+inline bool sourceKeepsAsleep(const Footprint &Done, const Footprint &Asleep) {
+  if (independent(Done, Asleep))
+    return true;
+  if (Done.L != Asleep.L || !Done.Atomic || !Asleep.Atomic || Done.Sc ||
+      Asleep.Sc)
+    return false;
+  using K = Footprint::Kind;
+  const bool DoneRw = Done.K == K::Read || Done.K == K::Write ||
+                      Done.K == K::Update;
+  const bool AsleepRw = Asleep.K == K::Read || Asleep.K == K::Write ||
+                        Asleep.K == K::Update;
+  if (!DoneRw || !AsleepRw)
+    return false;
+  if (Done.K == K::Read)
+    return true; // Read keeps Write and Update asleep (reads grow nothing).
+  if (Asleep.K == K::Read)
+    return true; // Write/Update keep Read asleep under the watermark.
+  // Done is Write or Update, Asleep is Write or Update.
+  return Done.K == K::Write && Asleep.K == K::Update;
 }
 
 } // namespace compass::rmc

@@ -67,8 +67,10 @@ void Machine::reset() {
   ReadKnowLog.clear();
   ReadKnowCursor = 0;
   ReserveSeq = 0;
-  // Counters and OpSeqN are monotonic across resets by design; Tracing is
-  // sticky (the caller that enabled it keeps it).
+  RfFloorOn = false;
+  RfFloorEmpty = false;
+  // Counters and OpSeqN are monotonic across resets by design; Tracing and
+  // DupDetectOn are sticky (their enablers re-assert them per run).
 }
 
 //===----------------------------------------------------------------------===//
@@ -277,9 +279,21 @@ Timestamp Machine::applyWrite(unsigned T, ThreadState &TS, Loc L, Value V,
   return Ts;
 }
 
+// Reads-from duplicate equivalence (see Machine::enableDupDetect): two
+// messages are interchangeable when they carry the same value and the same
+// knowledge — every future read of one bisimulates a read of the other, so
+// verdicts cannot depend on which was read (the only residual difference,
+// the reader's per-location view component, only selects between more
+// equal-message reads; both stay strictly below the mo-maximum, so the
+// non-atomic race check is unaffected).
+static bool knowledgeEqual(const Knowledge &A, const Knowledge &B) {
+  return A.includedIn(B) && B.includedIn(A);
+}
+
 Value Machine::load(unsigned T, Loc L, MemOrder O) {
   ++Counters.Loads;
-  noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst);
+  noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst,
+         O != MemOrder::NonAtomic);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   checkNotFreed(T, L, "load");
@@ -304,8 +318,34 @@ Value Machine::load(unsigned T, Loc L, MemOrder O) {
   }
 
   Timestamp From = TS.Cur.Phys.get(L);
-  unsigned N = Mem.countReadableFrom(L, From);
-  unsigned Pick = N == 1 ? 0 : Choices.choose(N, "load");
+  const unsigned NFull = Mem.countReadableFrom(L, From);
+  unsigned N = NFull;
+  // A pending reads-from floor (source-set restricted re-run) cuts the old
+  // tail of the newest-first choice set; the restricted set is non-empty
+  // by construction (the floor is only installed when newer messages
+  // exist) and a prefix of the unrestricted enumeration. The decision is
+  // still recorded at the *unrestricted* arity, with the restricted count
+  // as its enumeration limit — so the trace replays unchanged through a
+  // reduction-free re-run, which sees the full choice set here.
+  if (const uint32_t Floor = takeRfFloor(L))
+    if (static_cast<Timestamp>(Floor) > From)
+      N = Mem.countReadableFrom(L, static_cast<Timestamp>(Floor));
+  if (DupDetectOn && N > 2) {
+    // Bit k: alternative k's message duplicates alternative k-1's. Both
+    // must sit strictly below the mo-maximum (k-1 >= 1, hence k >= 2).
+    uint64_t Mask = 0;
+    for (unsigned K = 2; K < N && K < 64; ++K) {
+      const Timestamp A = C.latestTs() - K;
+      const Timestamp B = C.latestTs() - (K - 1);
+      if (C.val(A) == C.val(B) && knowledgeEqual(C.know(A), C.know(B)))
+        Mask |= uint64_t{1} << K;
+    }
+    if (Mask)
+      Choices.noteChoiceDup(Mask);
+  }
+  unsigned Pick = NFull == 1 ? 0
+                  : N < NFull ? Choices.chooseLimited(NFull, N, "load")
+                              : Choices.choose(NFull, "load");
   // Choice 0 reads the newest message; choice N-1 the oldest readable.
   Timestamp Ts = C.latestTs() - Pick;
   applyRead(TS, L, C, Ts, O);
@@ -321,7 +361,8 @@ Value Machine::load(unsigned T, Loc L, MemOrder O) {
 Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
                          const ValuePred &Pred) {
   ++Counters.Loads;
-  noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst);
+  noteOp(L, Footprint::Kind::Read, O == MemOrder::SeqCst,
+         O != MemOrder::NonAtomic);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   checkNotFreed(T, L, "conditional load");
@@ -345,11 +386,54 @@ Value Machine::loadWhere(unsigned T, Loc L, MemOrder O,
       Candidates.push_back(Ts);
   if (Candidates.empty())
     fatalError("loadWhere: no readable message satisfies the predicate");
-  unsigned Pick = Candidates.size() == 1
-                      ? 0
-                      : Choices.choose(
-                            static_cast<unsigned>(Candidates.size()),
-                            "load-where");
+  // A pending reads-from floor keeps only the candidates at or past it — a
+  // prefix of the newest-first enumeration, so the choice is recorded at
+  // the unrestricted arity with the restricted count as its enumeration
+  // limit (replay-compatible with a reduction-free re-run). Unlike a plain
+  // load the restricted set can be empty (no *new* message satisfies the
+  // predicate): the step then reads the newest unrestricted candidate
+  // without recording a choice — the execution is already fully covered
+  // and the scheduler abandons it as RfPruned right after the step, so no
+  // trace of it survives to be replayed.
+  const unsigned NumFull = static_cast<unsigned>(Candidates.size());
+  unsigned NumChoices = NumFull;
+  bool RestrictedEmpty = false;
+  if (const uint32_t Floor = takeRfFloor(L)) {
+    unsigned Kept = 0;
+    while (Kept != NumChoices &&
+           Candidates[Kept] >= static_cast<Timestamp>(Floor))
+      ++Kept;
+    if (Kept == 0) {
+      RestrictedEmpty = true;
+      RfFloorEmpty = true;
+    } else {
+      NumChoices = Kept;
+    }
+  }
+  unsigned Pick = 0;
+  if (!RestrictedEmpty) {
+    if (DupDetectOn && NumChoices > 1) {
+      // Bit k: candidate k duplicates candidate k-1 — value- and
+      // knowledge-equal is not enough here, the two must also be
+      // timestamp-adjacent (an intervening non-satisfying message would
+      // sit between the reader's view positions) and strictly below the
+      // mo-maximum.
+      uint64_t Mask = 0;
+      for (unsigned K = 1; K < NumChoices && K < 64; ++K) {
+        const Timestamp A = Candidates[K];
+        const Timestamp B = Candidates[K - 1];
+        if (A + 1 == B && B < C.latestTs() && C.val(A) == C.val(B) &&
+            knowledgeEqual(C.know(A), C.know(B)))
+          Mask |= uint64_t{1} << K;
+      }
+      if (Mask)
+        Choices.noteChoiceDup(Mask);
+    }
+    if (NumFull > 1)
+      Pick = NumChoices < NumFull
+                 ? Choices.chooseLimited(NumFull, NumChoices, "load-where")
+                 : Choices.choose(NumFull, "load-where");
+  }
   Timestamp Ts = Candidates[Pick];
   applyRead(TS, L, C, Ts, O);
   if (O == MemOrder::SeqCst)
@@ -373,7 +457,8 @@ bool Machine::anyReadableSatisfies(unsigned T, Loc L,
 
 void Machine::store(unsigned T, Loc L, Value V, MemOrder O) {
   ++Counters.Stores;
-  noteOp(L, Footprint::Kind::Write, O == MemOrder::SeqCst);
+  noteOp(L, Footprint::Kind::Write, O == MemOrder::SeqCst,
+         O != MemOrder::NonAtomic);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   checkNotFreed(T, L, "store");
@@ -432,16 +517,51 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
     if (C.val(Ts) != Expected)
       FailTs.push_back(Ts);
 
-  unsigned NumAlternatives =
-      (CanSucceed ? 1 : 0) + static_cast<unsigned>(FailTs.size());
+  const unsigned NumFailsFull = static_cast<unsigned>(FailTs.size());
+  unsigned NumFails = NumFailsFull;
+  // A pending reads-from floor cuts the old tail of the newest-first fail
+  // reads (the success alternative reads the mo-maximum, which is always
+  // at or past the floor); as with loads, the choice is recorded at the
+  // unrestricted arity with the restricted count as its enumeration limit
+  // so replay stays decision-compatible. Never empty: either the
+  // mo-maximum carries the expected value (success is offered) or it is
+  // itself a fail candidate at or past the floor.
+  if (const uint32_t Floor = takeRfFloor(L)) {
+    unsigned Kept = 0;
+    while (Kept != NumFails &&
+           FailTs[Kept] >= static_cast<Timestamp>(Floor))
+      ++Kept;
+    NumFails = Kept;
+  }
+
+  const unsigned NumAllFull = (CanSucceed ? 1 : 0) + NumFailsFull;
+  unsigned NumAlternatives = (CanSucceed ? 1 : 0) + NumFails;
   if (NumAlternatives == 0)
     fatalError("CAS has no legal read; history corrupt");
-  unsigned Pick = NumAlternatives == 1
-                      ? 0
-                      : Choices.choose(NumAlternatives, "cas");
+  if (DupDetectOn && NumFails > 1) {
+    // Bit k (as an overall-alternative index): fail read k duplicates fail
+    // read k-1 — timestamp-adjacent, value- and knowledge-equal, and the
+    // newer of the two strictly below the mo-maximum.
+    const unsigned Base = CanSucceed ? 1 : 0;
+    uint64_t Mask = 0;
+    for (unsigned K = 1; K < NumFails && Base + K < 64; ++K) {
+      const Timestamp A = FailTs[K];
+      const Timestamp B = FailTs[K - 1];
+      if (A + 1 == B && B < Latest && C.val(A) == C.val(B) &&
+          knowledgeEqual(C.know(A), C.know(B)))
+        Mask |= uint64_t{1} << (Base + K);
+    }
+    if (Mask)
+      Choices.noteChoiceDup(Mask);
+  }
+  unsigned Pick =
+      NumAllFull == 1 ? 0
+      : NumAlternatives < NumAllFull
+          ? Choices.chooseLimited(NumAllFull, NumAlternatives, "cas")
+          : Choices.choose(NumAllFull, "cas");
 
   if (CanSucceed && Pick == 0) {
-    noteOp(L, Footprint::Kind::Update, Sc);
+    noteOp(L, Footprint::Kind::Update, Sc, /*Atomic=*/true);
     applyRead(TS, L, C, Latest, SuccO);
     // Release-sequence behaviour: the new message carries the read
     // message's view, so a chain of RMWs forwards earlier releases.
@@ -457,7 +577,7 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
   }
 
   // A failed CAS only reads.
-  noteOp(L, Footprint::Kind::Read, Sc);
+  noteOp(L, Footprint::Kind::Read, Sc, /*Atomic=*/true);
   Timestamp RTs = FailTs[Pick - (CanSucceed ? 1 : 0)];
   applyRead(TS, L, C, RTs, FailO);
   if (FailO == MemOrder::SeqCst)
@@ -471,11 +591,15 @@ Machine::CasResult Machine::cas(unsigned T, Loc L, Value Expected,
 
 Value Machine::fetchAdd(unsigned T, Loc L, Value Add, MemOrder O) {
   ++Counters.Rmws;
-  noteOp(L, Footprint::Kind::Update, O == MemOrder::SeqCst);
+  noteOp(L, Footprint::Kind::Update, O == MemOrder::SeqCst,
+         /*Atomic=*/true);
   ThreadState &TS = thread(T);
   const Cell &C = Mem.cell(L);
   checkNotFreed(T, L, "fetch-add");
   assert(O != MemOrder::NonAtomic && "RMW must be atomic");
+  // A fetch-add has no reads-from choice (it reads the mo-maximum, which
+  // is always at or past any pending floor); just consume the floor.
+  (void)takeRfFloor(L);
 
   if (O == MemOrder::SeqCst) {
     TS.Cur.Phys.joinWith(ScPhys);

@@ -346,6 +346,49 @@ public:
   const View &pickCurScratch() const { return PickCurScratch; }
   const View &pickAcqScratch() const { return PickAcqScratch; }
 
+  //===--------------------------------------------------------------------===//
+  // Source-set reduction support (sim/Reduction.h). Both hooks are driven
+  // by the scheduler; with no reduction attached they are never touched.
+  //===--------------------------------------------------------------------===//
+
+  /// Installs a reads-from floor for the next operation on \p L: its
+  /// reads-from choice set is restricted to messages with timestamp
+  /// >= \p Floor — the ones appended after the restricted move went to
+  /// sleep (older choices commute back to the already-explored sibling).
+  /// Because every choice set is enumerated newest-first, the restricted
+  /// set is a *prefix* of the unrestricted one: the recorded decision
+  /// index denotes the same message either way, so corpus traces recorded
+  /// from restricted executions replay reduction-free. Consumed by the
+  /// first load / loadWhere / cas / fetchAdd on \p L.
+  void setRfFloor(Loc L, uint32_t Floor) {
+    RfFloorLoc = L;
+    RfFloorTs = Floor;
+    RfFloorOn = true;
+    RfFloorEmpty = false;
+  }
+
+  /// Clears any pending floor; returns whether a restricted choice set
+  /// came up empty (only possible for a predicated loadWhere — the step
+  /// then read an already-covered message and the scheduler abandons the
+  /// execution as RfPruned, with no choice node recorded).
+  bool clearRfFloor() {
+    RfFloorOn = false;
+    const bool E = RfFloorEmpty;
+    RfFloorEmpty = false;
+    return E;
+  }
+
+  /// When enabled, load/loadWhere/cas announce a reads-from duplicate mask
+  /// to the ChoiceSource right before each multi-way choice
+  /// (ChoiceSource::noteChoiceDup): bit k marks an alternative whose
+  /// message is value- and knowledge-identical to alternative k-1's,
+  /// timestamp-adjacent, and strictly below the modification-order maximum
+  /// — the two post-states are bisimilar for every verdict we check, so
+  /// the explorer may skip alternative k's subtree. The mask is a pure
+  /// function of the decision prefix, so replayed paths recompute it
+  /// identically. Enabled by the scheduler under source-set reduction.
+  void enableDupDetect(bool On) { DupDetectOn = On; }
+
 private:
   /// One entry of a thread's per-location release map. The map is a flat
   /// vector with a live watermark: threads release through a handful of
@@ -409,11 +452,23 @@ private:
   void traceOp(unsigned T, const std::string &Line);
 
   /// Records the footprint of the operation just executed.
-  void noteOp(Loc L, Footprint::Kind K, bool Sc) {
+  void noteOp(Loc L, Footprint::Kind K, bool Sc, bool Atomic = false) {
     LastFp.L = L;
     LastFp.K = K;
     LastFp.Sc = Sc;
+    LastFp.Atomic = Atomic;
     ++OpSeqN;
+  }
+
+  /// Consumes the pending reads-from floor if it targets \p L; returns the
+  /// floor timestamp, or 0 when none applies (timestamp 0 — the initial
+  /// message — is never a real floor: a sleeping move's watermark is the
+  /// history length at sleep time, which is at least 1).
+  uint32_t takeRfFloor(Loc L) {
+    if (!RfFloorOn || RfFloorLoc != L)
+      return 0;
+    RfFloorOn = false;
+    return RfFloorTs;
   }
 
   ChoiceSource &Choices;
@@ -452,6 +507,14 @@ private:
   // awaits, in an order the fast-forward reproduces exactly).
   bool Replaying = false;
   bool ScratchOn = false; ///< Boundary scratch copies enabled (COW engine).
+  // Source-set reduction state (see the section above). All of it is
+  // step-scoped: a floor is installed right before the restricted step and
+  // cleared right after it, never across snapshots or executions.
+  bool RfFloorOn = false;
+  bool RfFloorEmpty = false;
+  bool DupDetectOn = false;
+  Loc RfFloorLoc = 0;
+  uint32_t RfFloorTs = 0;
   View PickCurScratch;    ///< Choosing thread's Cur.Phys before SC pre-join.
   View PickAcqScratch;    ///< Choosing thread's Acq.Phys before SC pre-join.
   mutable std::vector<Timestamp> ReadTsLog;

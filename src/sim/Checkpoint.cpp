@@ -1,12 +1,12 @@
 //===-- sim/Checkpoint.cpp - Exploration frontier snapshots ---------------===//
 //
-// Text grammar (version "snapshot v1"; one record per line, space-
+// Text grammar (version "snapshot v2"; one record per line, space-
 // separated fields, tags are identifier-like and never contain spaces):
 //
-//   snapshot v1
+//   snapshot v2
 //   summary <Executions> <Completed> <Deadlocks> <Races> <Diverged>
-//           <Pruned> <SleepPruned> <Violations> <Exhausted> <MaxDepth>
-//           <HasViolation>
+//           <Pruned> <SleepPruned> <RfPruned> <SourcePruned> <CacheHits>
+//           <Violations> <Exhausted> <MaxDepth> <HasViolation>
 //   tags <N>
 //   tag <name> <Choices> <AltSum> <MaxArity>            (N lines)
 //   violation <N>
@@ -14,8 +14,14 @@
 //   prefixes <N>
 //   prefix <NDecisions> <HasSleep> <SleepOrdinal> <NSleep>
 //   d <Chosen> <Limit> <Count> <Tag>                    (NDecisions lines)
-//   s <Tid> <Loc> <Kind> <Sc>                           (NSleep lines)
+//   s <Tid> <Loc> <Kind> <Sc> <Atomic> <Ver>            (NSleep lines)
 //   end snapshot
+//
+// "snapshot v1" (pre-source-set) is still accepted on read: its summary
+// lacks the three source-set counters (default 0) and its sleep records
+// lack the Atomic flag and reads-from watermark (defaults false / 0 —
+// sound, because v1 snapshots can only come from sleep-mode runs, which
+// never consult either field). Writes always emit v2.
 //
 //===----------------------------------------------------------------------===//
 
@@ -120,11 +126,12 @@ bool expectKeyword(Reader &R, const char *Kw, Fields &F) {
 
 std::string sim::serializeSnapshot(const ExplorationSnapshot &S) {
   std::ostringstream OS;
-  OS << "snapshot v1\n";
+  OS << "snapshot v2\n";
   const Explorer::Summary &P = S.Partial;
   OS << "summary " << P.Executions << ' ' << P.Completed << ' '
      << P.Deadlocks << ' ' << P.Races << ' ' << P.Diverged << ' ' << P.Pruned
-     << ' ' << P.SleepPruned << ' ' << P.Violations << ' '
+     << ' ' << P.SleepPruned << ' ' << P.RfPruned << ' ' << P.SourcePruned
+     << ' ' << P.CacheHits << ' ' << P.Violations << ' '
      << unsigned(P.Exhausted) << ' ' << P.MaxDepth << ' '
      << unsigned(P.HasViolation) << '\n';
   OS << "tags " << P.Tags.size() << '\n';
@@ -147,7 +154,8 @@ std::string sim::serializeSnapshot(const ExplorationSnapshot &S) {
       for (const SleepMove &Mv : Pf.Sleep)
         OS << "s " << Mv.Tid << ' ' << static_cast<uint64_t>(Mv.Fp.L) << ' '
            << unsigned(static_cast<uint8_t>(Mv.Fp.K)) << ' '
-           << unsigned(Mv.Fp.Sc) << '\n';
+           << unsigned(Mv.Fp.Sc) << ' ' << unsigned(Mv.Fp.Atomic) << ' '
+           << Mv.Ver << '\n';
   }
   OS << "end snapshot\n";
   return OS.str();
@@ -186,8 +194,13 @@ bool sim::parseSnapshot(std::string_view Text, ExplorationSnapshot &Out,
 
   if (!R.next())
     return Done(false);
-  if (R.Line != "snapshot v1")
-    return Done(R.fail("unsupported snapshot header (want 'snapshot v1')"));
+  unsigned Version = 0;
+  if (R.Line == "snapshot v2")
+    Version = 2;
+  else if (R.Line == "snapshot v1")
+    Version = 1; // Pre-source-set grammar; see file comment.
+  else
+    return Done(R.fail("unsupported snapshot header (want 'snapshot v2')"));
 
   Explorer::Summary &P = Out.Partial;
   if (!R.next())
@@ -198,8 +211,12 @@ bool sim::parseSnapshot(std::string_view Text, ExplorationSnapshot &Out,
       return Done(false);
     if (!F.num(P.Executions) || !F.num(P.Completed) || !F.num(P.Deadlocks) ||
         !F.num(P.Races) || !F.num(P.Diverged) || !F.num(P.Pruned) ||
-        !F.num(P.SleepPruned) || !F.num(P.Violations) ||
-        !F.flag(P.Exhausted) || !F.num(P.MaxDepth) ||
+        !F.num(P.SleepPruned))
+      return Done(R.fail("malformed summary record"));
+    if (Version >= 2 && (!F.num(P.RfPruned) || !F.num(P.SourcePruned) ||
+                         !F.num(P.CacheHits)))
+      return Done(R.fail("malformed summary record"));
+    if (!F.num(P.Violations) || !F.flag(P.Exhausted) || !F.num(P.MaxDepth) ||
         !F.flag(P.HasViolation))
       return Done(R.fail("malformed summary record"));
   }
@@ -275,6 +292,8 @@ bool sim::parseSnapshot(std::string_view Text, ExplorationSnapshot &Out,
       unsigned Kind = 0;
       if (!expectKeyword(R, "s", FS) || !FS.num(Mv.Tid) || !FS.num(L) ||
           !FS.num(Kind) || !FS.flag(Mv.Fp.Sc))
+        return Done(R.fail("malformed sleep record"));
+      if (Version >= 2 && (!FS.flag(Mv.Fp.Atomic) || !FS.num(Mv.Ver)))
         return Done(R.fail("malformed sleep record"));
       if (Kind > static_cast<unsigned>(rmc::Footprint::Kind::Free))
         return Done(R.fail("sleep footprint kind out of range"));

@@ -20,15 +20,23 @@ DecisionTree::DecisionTree(Prefix Seed)
 }
 
 unsigned DecisionTree::next(unsigned Count, const char *Tag) {
+  return next(Count, Count, Tag);
+}
+
+unsigned DecisionTree::next(unsigned Count, unsigned Limit, const char *Tag) {
   assert(Count >= 1 && "choice with no alternatives");
+  assert(Limit >= 1 && Limit <= Count && "enumeration limit out of range");
   if (Pos < Trace.size()) {
     // Replaying the backtracked prefix; the program must be deterministic
-    // given the decision sequence.
+    // given the decision sequence. Only the recorded arity is validated:
+    // the node's Limit was fixed (from the restriction state, itself a pure
+    // function of the prefix) when the node was created, and may since have
+    // been lowered by split()-time donation.
     if (Trace[Pos].Count != Count)
       fatalError("nondeterministic replay: decision arity changed");
     return Trace[Pos++].Chosen;
   }
-  Trace.push_back({0, Count, Count, Tag});
+  Trace.push_back({0, Limit, Count, Tag});
   ++Pos;
   return 0;
 }

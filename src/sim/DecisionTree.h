@@ -44,9 +44,16 @@ namespace compass::sim {
 struct SleepMove {
   unsigned Tid = 0;
   rmc::Footprint Fp;
+  /// Reads-from watermark: the length of Fp.L's write history when the move
+  /// was put to sleep. Used by the source-set reduction (Reduction.h): a
+  /// sleeping read/update scheduled later may only read messages appended
+  /// at or after this length (older reads-from choices commute back to the
+  /// already-explored sibling that ran the move first). Always 0 under the
+  /// plain sleep-set reduction, so sleep-mode snapshots are unchanged.
+  uint32_t Ver = 0;
 
   bool operator==(const SleepMove &O) const {
-    return Tid == O.Tid && Fp == O.Fp;
+    return Tid == O.Tid && Fp == O.Fp && Ver == O.Ver;
   }
 };
 
@@ -112,6 +119,12 @@ public:
   /// backtracked prefix (enforcing that \p Count matches the recorded
   /// arity), then extends the path with alternative 0.
   unsigned next(unsigned Count, const char *Tag);
+
+  /// Like next(), but a fresh node enumerates only alternatives in
+  /// [0, Limit) while still recording arity \p Count — the source-set
+  /// restricted form of a choice whose unrestricted arity is Count.
+  /// Replay of existing nodes validates Count only (see the impl).
+  unsigned next(unsigned Count, unsigned Limit, const char *Tag);
 
   /// True while the replay cursor is inside the recorded path (the program
   /// is deterministic up to here).

@@ -13,11 +13,51 @@
 using namespace compass;
 using namespace compass::sim;
 
+const char *sim::reductionModeName(ReductionMode M) {
+  switch (M) {
+  case ReductionMode::None:
+    return "none";
+  case ReductionMode::SleepSet:
+    return "sleep";
+  case ReductionMode::SourceSet:
+    return "source";
+  }
+  return "none";
+}
+
+bool sim::parseReductionMode(const std::string &S, ReductionMode &Out) {
+  if (S == "none")
+    Out = ReductionMode::None;
+  else if (S == "sleep")
+    Out = ReductionMode::SleepSet;
+  else if (S == "source")
+    Out = ReductionMode::SourceSet;
+  else
+    return false;
+  return true;
+}
+
+const char *sim::enginePathName(EnginePath P) {
+  return P == EnginePath::RootReplay ? "root" : "auto";
+}
+
+bool sim::parseEnginePath(const std::string &S, EnginePath &Out) {
+  if (S == "auto")
+    Out = EnginePath::Auto;
+  else if (S == "root")
+    Out = EnginePath::RootReplay;
+  else
+    return false;
+  return true;
+}
+
 Explorer::Explorer(Options O)
     : Opts(O), Rand(O.Seed), Start(std::chrono::steady_clock::now()),
       LastProgress(Start) {
-  RedEnabled = Opts.Reduction == ReductionMode::SleepSet &&
+  RedEnabled = (Opts.Reduction == ReductionMode::SleepSet ||
+                Opts.Reduction == ReductionMode::SourceSet) &&
                Opts.ExploreMode == Mode::Exhaustive;
+  Red.enableSourceSets(Opts.Reduction == ReductionMode::SourceSet);
 }
 
 Explorer::Explorer() : Explorer(Options{}) {}
@@ -25,8 +65,10 @@ Explorer::Explorer() : Explorer(Options{}) {}
 Explorer::Explorer(Options O, DecisionTree::Prefix Seed)
     : Opts(O), Rand(O.Seed), Start(std::chrono::steady_clock::now()),
       LastProgress(Start) {
-  RedEnabled = Opts.Reduction == ReductionMode::SleepSet &&
+  RedEnabled = (Opts.Reduction == ReductionMode::SleepSet ||
+                Opts.Reduction == ReductionMode::SourceSet) &&
                Opts.ExploreMode == Mode::Exhaustive;
+  Red.enableSourceSets(Opts.Reduction == ReductionMode::SourceSet);
   // Consume the donor's sleep snapshot before the path moves into the
   // tree; the reduction validates its recomputed state against it when
   // replay reaches the seeded ordinal.
@@ -51,6 +93,7 @@ bool Explorer::beginExecution() {
     Tree.beginExecution();
   if (RedEnabled)
     Red.beginExecution();
+  PendingDupMask = 0;
   InExecution = true;
   return true;
 }
@@ -67,8 +110,14 @@ Explorer::TagStat &Explorer::tagStat(const char *Tag) {
 }
 
 unsigned Explorer::choose(unsigned Count, const char *Tag) {
+  return chooseLimited(Count, Count, Tag);
+}
+
+unsigned Explorer::chooseLimited(unsigned Count, unsigned Limit,
+                                 const char *Tag) {
   assert(InExecution && "choice outside an execution");
   assert(Count >= 1 && "choice with no alternatives");
+  assert(Limit >= 1 && Limit <= Count && "enumeration limit out of range");
 
   TagStat &Stat = tagStat(Tag);
   ++Stat.Choices;
@@ -77,20 +126,36 @@ unsigned Explorer::choose(unsigned Count, const char *Tag) {
 
   if (Opts.ExploreMode == Mode::Random) {
     // Record the decision even in random mode: a failing sampled run must
-    // be reproducible via replay() from currentDecisions().
-    unsigned Pick = static_cast<unsigned>(Rand.below(Count));
+    // be reproducible via replay() from currentDecisions(). (Reduction —
+    // and with it restricted choice sets — only exists in exhaustive mode,
+    // so Limit == Count here; sample within the limit regardless.)
+    unsigned Pick = static_cast<unsigned>(Rand.below(Limit));
     RandTrace.push_back({Pick, Count, Count, Tag});
     return Pick;
   }
 
-  // A fresh multi-alternative node is a potential backtrack target: let
+  // Record the machine-announced reads-from duplicate mask for this node
+  // (source-set mode). Masks are pure functions of the decision prefix:
+  // replayed nodes recompute the identical mask, and nodes skipped by a
+  // copy-on-write resume keep the entry their recording execution wrote.
+  if (RedEnabled && Red.sourceSets()) {
+    const size_t Pos = Tree.position();
+    if (DupMasks.size() <= Pos)
+      DupMasks.resize(Pos + 1, 0);
+    DupMasks[Pos] = PendingDupMask;
+    PendingDupMask = 0;
+  }
+
+  // A fresh multi-enumerable node is a potential backtrack target: let
   // the copy-on-write engine snapshot the pre-decision state so sibling
   // alternatives resume here. Replayed nodes (including the pinned seed)
   // already have their snapshots from the execution that created them.
-  if (SnapHook && Count > 1 && !Tree.replaying())
+  // Limit == 1 nodes (a restricted set collapsed to one alternative) are
+  // never advance()/split() targets, so they need no snapshot.
+  if (SnapHook && Limit > 1 && !Tree.replaying())
     SnapHook(Tree.position(), Tag);
 
-  return Tree.next(Count, Tag);
+  return Tree.next(Count, Limit, Tag);
 }
 
 size_t Explorer::decisionPosition() const {
@@ -185,6 +250,9 @@ void Explorer::endExecution(Scheduler::RunResult R) {
   case Scheduler::RunResult::SleepPruned:
     ++Sum.SleepPruned;
     break;
+  case Scheduler::RunResult::RfPruned:
+    ++Sum.RfPruned;
+    break;
   }
 
   Sum.MaxDepth = std::max<uint64_t>(Sum.MaxDepth, currentTrace().size());
@@ -193,6 +261,29 @@ void Explorer::endExecution(Scheduler::RunResult R) {
     Sum.Perf.PeakFrontier =
         std::max(Sum.Perf.PeakFrontier, Tree.frontierSize());
     HasWork = Tree.advance();
+    // Source-set advance-time skipping: after each backtrack the path's
+    // final decision is the freshly advanced alternative. If the reduction
+    // proved that sibling fully covered (Prune verdict recorded at its
+    // choice point) or the machine flagged it as a reads-from duplicate of
+    // the alternative just explored, discard the subtree without running an
+    // execution and advance again. The per-alternative verdicts and dup
+    // masks are pure functions of the (unchanged) prefix above the node, so
+    // this is exactly the verdict an execution taking the alternative would
+    // have received.
+    while (HasWork) {
+      const auto &Trace = Tree.trace();
+      if (Trace.empty())
+        break;
+      const DecisionTree::Decision &D = Trace.back();
+      const SkipKind SK = skipKindAt(Trace.size() - 1, D.Tag, D.Chosen);
+      if (SK == SkipKind::None)
+        break;
+      if (SK == SkipKind::Source)
+        ++Sum.SourcePruned;
+      else
+        ++Sum.CacheHits;
+      HasWork = Tree.advance();
+    }
     if (!HasWork)
       Sum.Exhausted = true;
   }
@@ -232,6 +323,61 @@ void Explorer::finalizePerf() {
   }
 }
 
+Explorer::SkipKind Explorer::skipKindAt(size_t Pos, const char *Tag,
+                                        unsigned Alt) const {
+  if (!RedEnabled || !Red.sourceSets() || !Tag)
+    return SkipKind::None;
+  if (std::strcmp(Tag, "sched") == 0) {
+    // The decision's sched ordinal: sched-tagged decisions correspond 1:1,
+    // in order, to the reduction's recorded choice points. Counting over
+    // the live trace is valid for donated prefixes too — a donation's path
+    // matches the live trace on every position before its final decision.
+    const auto &Trace = Tree.trace();
+    size_t K = 0;
+    for (size_t I = 0, E = std::min(Pos, Trace.size()); I != E; ++I)
+      if (Trace[I].Tag && std::strcmp(Trace[I].Tag, "sched") == 0)
+        ++K;
+    return Red.skipAlternative(K, Alt) ? SkipKind::Source : SkipKind::None;
+  }
+  if (std::strcmp(Tag, "load") != 0 && std::strcmp(Tag, "load-where") != 0 &&
+      std::strcmp(Tag, "cas") != 0)
+    return SkipKind::None;
+  // Mask bit k set = alternative k reads the same value with the same
+  // knowledge as alternative k-1 (rmc::Machine's duplicate detection);
+  // exploring it cannot change any verdict, so the whole sibling subtree
+  // is a cache hit. Masks cover the first 64 alternatives only.
+  if (Alt < 64 && Pos < DupMasks.size() && ((DupMasks[Pos] >> Alt) & 1))
+    return SkipKind::RfDup;
+  return SkipKind::None;
+}
+
+void Explorer::dropSkippedDonations(std::vector<DecisionTree::Prefix> &Out,
+                                    bool KeepLast) {
+  if (!RedEnabled || !Red.sourceSets() || Out.empty())
+    return;
+  const size_t Limit = Out.size() - (KeepLast ? 1 : 0);
+  size_t W = 0;
+  for (size_t I = 0, E = Out.size(); I != E; ++I) {
+    SkipKind SK = SkipKind::None;
+    if (I < Limit && !Out[I].Path.empty()) {
+      const DecisionTree::Decision &D = Out[I].Path.back();
+      SK = skipKindAt(Out[I].Path.size() - 1, D.Tag, D.Chosen);
+    }
+    if (SK == SkipKind::Source) {
+      ++Sum.SourcePruned;
+      continue;
+    }
+    if (SK == SkipKind::RfDup) {
+      ++Sum.CacheHits;
+      continue;
+    }
+    if (W != I)
+      Out[W] = std::move(Out[I]);
+    ++W;
+  }
+  Out.resize(W);
+}
+
 bool Explorer::splittable() const {
   return !InExecution && Opts.ExploreMode == Mode::Exhaustive &&
          HasWork && Tree.splittable();
@@ -240,6 +386,10 @@ bool Explorer::splittable() const {
 std::vector<DecisionTree::Prefix> Explorer::split(size_t MaxDonations) {
   assert(!InExecution && "split mid-execution");
   std::vector<DecisionTree::Prefix> Out = Tree.split(MaxDonations);
+  // Donations the serial advance loop would have skipped are counted here
+  // (on the donor) instead of shipped — a recipient would run an execution
+  // on them, and the fingerprint would depend on the work distribution.
+  dropSkippedDonations(Out, /*KeepLast=*/false);
   if (RedEnabled)
     for (DecisionTree::Prefix &P : Out)
       Red.annotate(P);
@@ -253,6 +403,10 @@ std::vector<DecisionTree::Prefix> Explorer::drainFrontier() {
   std::vector<DecisionTree::Prefix> Out;
   if (HasWork && !Tree.exhausted()) {
     Out = Tree.frontierPrefixes();
+    // The final element is the pinned current path — advance-vetted, never
+    // filtered; the alternative prefixes before it get the same skip test
+    // as split() donations.
+    dropSkippedDonations(Out, /*KeepLast=*/true);
     // Like split(): carry the sleep state so recipients can cross-check
     // their recomputation (annotation is validation only — the state is a
     // pure function of the path).
@@ -327,7 +481,8 @@ bool Explorer::Summary::coreEquals(const Summary &O) const {
   return Executions == O.Executions && Completed == O.Completed &&
          Deadlocks == O.Deadlocks && Races == O.Races &&
          Diverged == O.Diverged && Pruned == O.Pruned &&
-         SleepPruned == O.SleepPruned &&
+         SleepPruned == O.SleepPruned && RfPruned == O.RfPruned &&
+         SourcePruned == O.SourcePruned && CacheHits == O.CacheHits &&
          Violations == O.Violations && Exhausted == O.Exhausted &&
          MaxDepth == O.MaxDepth && HasViolation == O.HasViolation &&
          SameTrace(FirstViolation, O.FirstViolation) &&
@@ -342,6 +497,9 @@ void Explorer::Summary::mergeCore(const Summary &O) {
   Diverged += O.Diverged;
   Pruned += O.Pruned;
   SleepPruned += O.SleepPruned;
+  RfPruned += O.RfPruned;
+  SourcePruned += O.SourcePruned;
+  CacheHits += O.CacheHits;
   Violations += O.Violations;
   Exhausted = Exhausted && O.Exhausted;
   MaxDepth = std::max(MaxDepth, O.MaxDepth);
@@ -367,6 +525,9 @@ std::string Explorer::Summary::str() const {
   Out += " diverged=" + std::to_string(Diverged);
   Out += " pruned=" + std::to_string(Pruned);
   Out += " sleep_pruned=" + std::to_string(SleepPruned);
+  Out += " rf_pruned=" + std::to_string(RfPruned);
+  Out += " source_pruned=" + std::to_string(SourcePruned);
+  Out += " cache_hits=" + std::to_string(CacheHits);
   Out += " violations=" + std::to_string(Violations);
   Out += Exhausted ? " (exhaustive)" : " (truncated)";
   return Out;
@@ -382,6 +543,9 @@ std::string Explorer::Summary::json() const {
   J.field("diverged", Diverged);
   J.field("pruned", Pruned);
   J.field("sleep_pruned", SleepPruned);
+  J.field("rf_pruned", RfPruned);
+  J.field("source_pruned", SourcePruned);
+  J.field("cache_hits", CacheHits);
   J.field("violations", Violations);
   J.field("exhausted", Exhausted);
   J.field("max_depth", MaxDepth);

@@ -60,10 +60,16 @@
 
 namespace compass::sim {
 
-/// Which state-space reduction the explorer applies (DESIGN.md Section 8).
+/// Which state-space reduction the explorer applies (DESIGN.md Sections 8
+/// and 12).
 enum class ReductionMode {
-  None,    ///< Plain exhaustive DFS (baseline; fingerprint-stable).
-  SleepSet ///< Sleep-set partial-order reduction over sched choices.
+  None,     ///< Plain exhaustive DFS (baseline; fingerprint-stable).
+  SleepSet, ///< Sleep-set partial-order reduction over sched choices.
+  SourceSet ///< Source-set DPOR: sleep sets upgraded with the watermark-
+            ///< refined wake relation, restricted re-runs of sleeping
+            ///< reads/updates, advance-time skipping of covered sched
+            ///< siblings, and reads-from duplicate pruning at load/CAS
+            ///< choice nodes (sim/Reduction.h).
 };
 
 /// How the exploration engine re-establishes state between executions
@@ -74,6 +80,17 @@ enum class EnginePath {
   RootReplay ///< Always re-execute from the root (the classic engine; the
              ///< A/B reference for the copy-on-write path).
 };
+
+/// Canonical spelling of a ReductionMode ("none" | "sleep" | "source");
+/// one vocabulary across the CLI, checkpoints, telemetry, and benchmarks.
+const char *reductionModeName(ReductionMode M);
+/// Inverse of reductionModeName; false on an unknown spelling.
+bool parseReductionMode(const std::string &S, ReductionMode &Out);
+
+/// Canonical spelling of an EnginePath ("auto" | "root").
+const char *enginePathName(EnginePath P);
+/// Inverse of enginePathName; false on an unknown spelling.
+bool parseEnginePath(const std::string &S, EnginePath &Out);
 
 /// Explores the decision tree of a bounded concurrent program.
 class Explorer : public ChoiceSource {
@@ -132,7 +149,17 @@ public:
     uint64_t Races = 0;
     uint64_t Diverged = 0;   ///< Runs cut off by the step budget.
     uint64_t Pruned = 0;     ///< Stutter iterations cut by Env::prune.
-    uint64_t SleepPruned = 0; ///< Branches cut by the sleep-set reduction.
+    uint64_t SleepPruned = 0; ///< Executions cut by the sleep/source-set
+                              ///< reduction at an asleep pick.
+    uint64_t RfPruned = 0;    ///< Executions cut because a restricted
+                              ///< re-run's reads-from set was empty
+                              ///< (source-set mode only).
+    uint64_t SourcePruned = 0; ///< Covered sched siblings skipped at
+                               ///< advance time — no execution was run
+                               ///< (source-set mode only).
+    uint64_t CacheHits = 0;  ///< Reads-from duplicate subtrees skipped at
+                             ///< advance time — no execution was run
+                             ///< (source-set mode only).
     uint64_t Violations = 0; ///< Executions whose check failed.
     bool Exhausted = false;  ///< Whole tree covered (exhaustive mode).
     uint64_t MaxDepth = 0;   ///< Deepest decision sequence seen.
@@ -205,7 +232,19 @@ public:
 
   unsigned choose(unsigned Count, const char *Tag) override;
 
+  /// Source-set restricted choice: enumerates [0, Limit) but records the
+  /// decision at the full unrestricted arity \p Count, keeping the trace
+  /// replay-compatible with a reduction-free re-run (sim::replay, the
+  /// conformance diagnosis pipeline, corpus traces).
+  unsigned chooseLimited(unsigned Count, unsigned Limit,
+                         const char *Tag) override;
+
   size_t decisionPosition() const override;
+
+  /// Reads-from duplicate mask for the next choose() (source-set mode);
+  /// announced by the machine, recorded per tree node so advance() can
+  /// skip duplicate subtrees (Summary::CacheHits).
+  void noteChoiceDup(uint64_t Mask) override { PendingDupMask = Mask; }
 
   const Options &options() const { return Opts; }
   const Summary &summary() const { return Sum; }
@@ -278,7 +317,7 @@ public:
   /// Depth of the current decision path.
   uint64_t currentDepth() const { return Tree.depth(); }
 
-  /// The sleep-set reduction driving this explorer, or nullptr when
+  /// The sleep/source-set reduction driving this explorer, or nullptr when
   /// reduction is off. Hand it to Scheduler::setReduction().
   Reduction *reduction() { return RedEnabled ? &Red : nullptr; }
 
@@ -288,6 +327,27 @@ private:
   DecisionTree Tree;
   Reduction Red;
   bool RedEnabled = false;
+  /// Whether a donated/advanced alternative is skippable without running
+  /// it. Position/tag/alternative identify the decision; returns which
+  /// counter to bump (or None). Used by endExecution's advance loop and by
+  /// split()/drainFrontier() donation filtering — both must agree with the
+  /// serial skip decision for cross-worker fingerprint parity.
+  enum class SkipKind { None, Source, RfDup };
+  SkipKind skipKindAt(size_t Pos, const char *Tag, unsigned Alt) const;
+  /// Removes skip-marked prefixes from a donation batch, counting them into
+  /// this (the donor's) summary — a recipient would otherwise burn an
+  /// execution on a subtree serial exploration skips without one. KeepLast
+  /// protects the pinned current-path prefix of drainFrontier(), which was
+  /// already vetted by the advance loop.
+  void dropSkippedDonations(std::vector<DecisionTree::Prefix> &Out,
+                            bool KeepLast);
+  /// Reads-from duplicate masks per tree-node position, recorded at
+  /// choose() time (source-set mode). Entries for positions skipped by a
+  /// copy-on-write resume persist from the execution that recorded them;
+  /// replayed positions are overwritten with identically recomputed masks
+  /// (they are pure functions of the decision prefix).
+  std::vector<uint64_t> DupMasks;
+  uint64_t PendingDupMask = 0;
   /// Random-mode decision log (the DFS tree is unused in random mode, but
   /// failures must still be replayable — see currentDecisions()).
   std::vector<DecisionTree::Decision> RandTrace;

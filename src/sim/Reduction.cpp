@@ -1,4 +1,4 @@
-//===-- sim/Reduction.cpp - Sleep-set partial-order reduction -------------===//
+//===-- sim/Reduction.cpp - Sleep-set / source-set POR --------------------===//
 
 #include "sim/Reduction.h"
 
@@ -16,49 +16,111 @@ void Reduction::beginExecution() {
                  // capacity across executions.
 }
 
-bool Reduction::isAsleep(unsigned Tid) const {
+const SleepMove *Reduction::findAsleep(unsigned Tid) const {
   // A sleeping entry refers to its thread's pending operation; the thread
   // has not run since it was put to sleep, so matching by Tid suffices.
   for (const SleepMove &Mv : Cur)
     if (Mv.Tid == Tid)
-      return true;
-  return false;
+      return &Mv;
+  return nullptr;
+}
+
+Reduction::Verdict Reduction::verdictFor(const SleepMove *E,
+                                         uint32_t HistLen) const {
+  if (!E)
+    return Verdict::Run;
+  if (!SourceMode)
+    return Verdict::Prune;
+  // Source mode. A sleeping move was kept asleep only through exact
+  // commutes (classic independence, or reads that grow no history) plus —
+  // for reads/updates — same-location writes covered by the watermark
+  // (rmc::sourceKeepsAsleep). A sleeping write's delays are therefore all
+  // exact commutes back to the explored sibling: full prune. A sleeping
+  // read/update is fully covered exactly when no message was appended to
+  // its location since it went to sleep; otherwise only the reads-from
+  // options below the watermark are covered, and the move must run
+  // restricted to the new ones.
+  using K = rmc::Footprint::Kind;
+  const rmc::Footprint &Fp = E->Fp;
+  const bool Refinable =
+      Fp.Atomic && !Fp.Sc && (Fp.K == K::Read || Fp.K == K::Update);
+  if (Refinable && HistLen > E->Ver)
+    return Verdict::Restricted;
+  return Verdict::Prune;
 }
 
 void Reduction::insertMove(std::vector<SleepMove> &S, unsigned Tid,
-                           const rmc::Footprint &Fp) {
+                           const rmc::Footprint &Fp, uint32_t Ver) {
   // Insert sorted by Tid, deduplicating: a thread has one pending move.
+  // On dedup the watermark is *raised* to the incoming one: re-sleeping at
+  // a later choice point means the sibling branch explored there already
+  // covered the move's reads-from options up to the history length recorded
+  // at that point (restricted to [old Ver, new Ver) — or trivially, when
+  // the point saw no new messages, new Ver == old Ver). Keeping the stale
+  // low watermark instead would re-run the same restricted subtree once
+  // per delay depth — the delayed copies are Mazurkiewicz-equivalent and
+  // must prune, exactly like classic sleep sets prune delayed moves.
   size_t I = 0;
   for (size_t E = S.size(); I != E; ++I) {
-    if (S[I].Tid == Tid)
+    if (S[I].Tid == Tid) {
+      if (Ver > S[I].Ver)
+        S[I].Ver = Ver;
       return;
+    }
     if (S[I].Tid > Tid)
       break;
   }
-  S.insert(S.begin() + I, SleepMove{Tid, Fp});
+  S.insert(S.begin() + I, SleepMove{Tid, Fp, Ver});
 }
 
-bool Reduction::onSchedChoice(const std::vector<unsigned> &Enabled,
-                              const std::vector<rmc::Footprint> &Fps,
-                              unsigned Pick) {
-  assert(Enabled.size() == Fps.size() && Pick < Enabled.size());
+Reduction::Verdict
+Reduction::onSchedChoice(const std::vector<unsigned> &Enabled,
+                         const std::vector<rmc::Footprint> &Fps,
+                         const std::vector<uint32_t> &HistLens,
+                         unsigned Pick) {
+  assert(Enabled.size() == Fps.size() && Enabled.size() == HistLens.size() &&
+         Pick < Enabled.size());
   const size_t Ord = NumPoints;
 
   // Record the point so split()-time annotation can reconstruct the sleep
-  // state of any alternative at it.
+  // state of any alternative at it, and so the explorer can consult the
+  // per-alternative verdicts at advance time.
   if (NumPoints == Points.size())
     Points.emplace_back();
   SchedPoint &Pt = Points[NumPoints++];
   Pt.Entry = Cur; // Capacity-reusing copy.
   Pt.Alts.clear();
+  Pt.Skip.clear();
   for (size_t I = 0, E = Enabled.size(); I != E; ++I)
-    Pt.Alts.push_back(SleepMove{Enabled[I], Fps[I]});
+    Pt.Alts.push_back(
+        SleepMove{Enabled[I], Fps[I], SourceMode ? HistLens[I] : 0});
+
+  // Per-alternative verdicts, against the *entry* sleep set. Both the sleep
+  // set and the history lengths at this point are pure functions of the
+  // decision prefix above it, so the verdict recorded for alternative A now
+  // equals the verdict a later execution choosing A here would compute —
+  // which is what lets the explorer skip Prune-marked siblings at advance
+  // time without running them.
+  Verdict PickV;
+  if (SourceMode) {
+    for (size_t I = 0, E = Enabled.size(); I != E; ++I)
+      Pt.Skip.push_back(static_cast<uint8_t>(
+          verdictFor(findAsleep(Enabled[I]), HistLens[I])));
+    PickV = static_cast<Verdict>(Pt.Skip[Pick]);
+    if (PickV == Verdict::Restricted) {
+      const SleepMove *E = findAsleep(Enabled[Pick]);
+      RestrictL = E->Fp.L;
+      RestrictVer = E->Ver;
+    }
+  } else {
+    PickV = findAsleep(Enabled[Pick]) ? Verdict::Prune : Verdict::Run;
+  }
 
   // DFS order: alternatives j < Pick were fully explored in sibling
   // branches (by this worker or, for donated prefixes, by the donor side),
-  // so delaying them past independent steps is redundant.
+  // so delaying them past covered steps is redundant.
   for (unsigned J = 0; J != Pick; ++J)
-    insertMove(Cur, Enabled[J], Fps[J]);
+    insertMove(Cur, Enabled[J], Fps[J], SourceMode ? HistLens[J] : 0);
 
   // Cross-worker validation: when replaying a donated seed, the state we
   // just recomputed must match the donor's snapshot exactly.
@@ -66,18 +128,42 @@ bool Reduction::onSchedChoice(const std::vector<unsigned> &Enabled,
     fatalError("sleep-set state diverged from the donated prefix snapshot; "
                "reduced exploration would depend on work distribution");
 
-  return isAsleep(Enabled[Pick]);
+  return PickV;
+}
+
+Reduction::Verdict Reduction::onSchedule(unsigned Tid, uint32_t HistLen) {
+  const SleepMove *E = findAsleep(Tid);
+  Verdict V = verdictFor(E, HistLen);
+  if (V == Verdict::Restricted) {
+    RestrictL = E->Fp.L;
+    RestrictVer = E->Ver;
+  }
+  return V;
+}
+
+bool Reduction::skipAlternative(size_t Ordinal, unsigned Alt) const {
+  if (!SourceMode || Ordinal >= NumPoints)
+    return false;
+  const SchedPoint &Pt = Points[Ordinal];
+  return Alt < Pt.Skip.size() &&
+         Pt.Skip[Alt] == static_cast<uint8_t>(Verdict::Prune);
 }
 
 void Reduction::onStepExecuted(unsigned Tid, const rmc::Footprint &F) {
-  // Wake (erase) every sleeping move dependent on the executed step. The
-  // executing thread's own entry is always dropped: consecutive steps of
-  // one thread are program-ordered and never commute.
+  // Wake (erase) every sleeping move the keep-asleep relation cannot hold.
+  // The executing thread's own entry is always dropped: consecutive steps
+  // of one thread are program-ordered and never commute. In sleep mode the
+  // scheduler never executes a sleeping move (it prunes instead); in source
+  // mode it deliberately does, for restricted re-runs.
   size_t Out = 0;
   for (size_t I = 0, E = Cur.size(); I != E; ++I) {
     const SleepMove &Mv = Cur[I];
-    assert(Mv.Tid != Tid && "scheduler executed a sleeping move");
-    if (Mv.Tid != Tid && rmc::independent(F, Mv.Fp)) {
+    assert((SourceMode || Mv.Tid != Tid) &&
+           "scheduler executed a sleeping move");
+    const bool Keep = Mv.Tid != Tid && (SourceMode
+                                            ? rmc::sourceKeepsAsleep(F, Mv.Fp)
+                                            : rmc::independent(F, Mv.Fp));
+    if (Keep) {
       if (Out != I)
         Cur[Out] = Mv;
       ++Out;
@@ -116,7 +202,7 @@ void Reduction::annotate(DecisionTree::Prefix &P) const {
   const SchedPoint &Pt = Points[K];
   P.Sleep = Pt.Entry;
   for (unsigned J = 0; J < Last.Chosen && J < Pt.Alts.size(); ++J)
-    insertMove(P.Sleep, Pt.Alts[J].Tid, Pt.Alts[J].Fp);
+    insertMove(P.Sleep, Pt.Alts[J].Tid, Pt.Alts[J].Fp, Pt.Alts[J].Ver);
   P.SleepOrdinal = K;
   P.HasSleep = true;
 }

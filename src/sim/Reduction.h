@@ -1,35 +1,48 @@
-//===-- sim/Reduction.h - Sleep-set partial-order reduction -----*- C++ -*-===//
+//===-- sim/Reduction.h - Sleep-set / source-set POR ------------*- C++ -*-===//
 //
 // Part of compass-cxx. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Sleep-set partial-order reduction [Godefroid] over the scheduler's
-/// thread-choice points, specialized to the view-based RMC machine
-/// (DESIGN.md Section 8).
+/// Partial-order reduction over the scheduler's thread-choice points,
+/// specialized to the view-based RMC machine. Two modes share one state
+/// machine (DESIGN.md Sections 8 and 12):
 ///
-/// The idea: after the explorer finishes the branch that schedules thread t
-/// at a choice point, the sibling branches need not re-explore interleavings
-/// that merely *delay* t past steps independent of t's pending operation —
-/// swapping adjacent independent steps yields the identical machine state,
-/// so every execution reachable that way was already covered. Concretely,
-/// when the DFS takes alternative `Pick` at a `sched` choice point, every
-/// alternative j < Pick (already fully explored in sibling branches, in DFS
-/// order) is put to *sleep*. A sleeping move wakes as soon as any executed
-/// step is dependent on it (rmc::independent over footprints); if the
-/// scheduler is about to run a move that is still asleep, the whole branch
-/// is pruned — every execution below it is equivalent to one in an explored
-/// sibling.
+/// *Sleep sets* [Godefroid]: after the explorer finishes the branch that
+/// schedules thread t at a choice point, the sibling branches need not
+/// re-explore interleavings that merely *delay* t past steps independent of
+/// t's pending operation — swapping adjacent independent steps yields the
+/// identical machine state. When the DFS takes alternative `Pick` at a
+/// `sched` choice point, every alternative j < Pick (already fully explored
+/// in sibling branches, in DFS order) is put to *sleep*. A sleeping move
+/// wakes as soon as any executed step is dependent on it; if the scheduler
+/// is about to run a move that is still asleep, the branch is pruned.
 ///
-/// Only `sched`-tagged decisions participate: read-from and CAS-outcome
-/// choice points are never pruned, so the reduction is transparent to the
-/// memory model's nondeterminism. Sleep state is recomputed online from the
-/// decision path on every execution (it is a pure function of the path), so
-/// replayed prefixes — including seeded prefixes adopted from another
-/// worker — deterministically reconstruct the donor's state; donated
-/// prefixes carry a snapshot (DecisionTree::Prefix::Sleep) that the
-/// recipient validates against its recomputation.
+/// *Source sets* (the default): the same bookkeeping with three upgrades.
+/// (1) A refined wake relation (rmc::sourceKeepsAsleep): same-location
+/// atomic non-SC read/write pairs keep each other asleep, because the
+/// commutation is exact for reads-from choices below the sleeping move's
+/// history watermark (SleepMove::Ver, stamped at sleep-insert time).
+/// (2) A sleeping read/update that *is* eventually scheduled while new
+/// messages exist past its watermark executes with a reads-from floor
+/// installed on the machine — it enumerates only the genuinely new
+/// reads-from options; the stale ones commute back to the explored sibling
+/// (Scheduler reports an execution whose restricted option set came up
+/// empty as RunResult::RfPruned). (3) Every sched point records a per-
+/// alternative skip verdict so the explorer can discard fully-covered
+/// sibling subtrees at *advance time*, without burning an execution
+/// (Summary::SourcePruned).
+///
+/// Only `sched`-tagged decisions participate; read-from and CAS-outcome
+/// choice points are never pruned by this layer (the explorer's duplicate-
+/// rf cache handles those; see ChoiceSource::noteChoiceDup). All state is
+/// recomputed online from the decision path on every execution (it is a
+/// pure function of the path), so replayed prefixes — including seeded
+/// prefixes adopted from another worker — deterministically reconstruct
+/// the donor's state; donated prefixes carry a snapshot
+/// (DecisionTree::Prefix::Sleep) that the recipient validates against its
+/// recomputation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,39 +53,70 @@
 #include "sim/DecisionTree.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace compass::sim {
 
-/// Online sleep-set state for one explorer (one worker); see file comment.
-/// All containers are watermarked/recycled so steady-state executions do
-/// not allocate.
+/// Online sleep-set / source-set state for one explorer (one worker); see
+/// file comment. All containers are watermarked/recycled so steady-state
+/// executions do not allocate.
 class Reduction {
 public:
+  /// What the scheduler must do with the move it just picked.
+  enum class Verdict : uint8_t {
+    Run,       ///< Not asleep: execute normally.
+    Prune,     ///< Asleep, fully covered: abandon the execution.
+    Restricted ///< Asleep with fresh messages past the watermark: execute
+               ///< with the reads-from floor restrictLoc()/restrictVer().
+  };
+
+  /// Switches between plain sleep sets (off) and source sets (on). Must be
+  /// set before the first execution and never changed mid-exploration.
+  void enableSourceSets(bool On) { SourceMode = On; }
+  bool sourceSets() const { return SourceMode; }
+
   /// Clears the per-execution state; call before each execution.
   void beginExecution();
 
   /// Hook for a real `sched` choice (arity > 1, not preemption-forced):
-  /// records the choice point, puts alternatives j < \p Pick to sleep,
+  /// records the choice point, puts alternatives j < \p Pick to sleep
+  /// (stamping their history watermarks from \p HistLens in source mode),
   /// validates against the donated seed snapshot when this is the seeded
-  /// ordinal, and reports whether the picked move is asleep (in which case
-  /// the scheduler must abandon the execution as SleepPruned).
+  /// ordinal, and returns the verdict for the picked move.
   ///
   /// \p Enabled are the schedulable threads, \p Fps their pending-operation
-  /// footprints (parallel arrays), \p Pick the index chosen by the
-  /// decision tree.
-  bool onSchedChoice(const std::vector<unsigned> &Enabled,
-                     const std::vector<rmc::Footprint> &Fps, unsigned Pick);
+  /// footprints, \p HistLens the current history length of each pending
+  /// footprint's location (parallel arrays), \p Pick the index chosen by
+  /// the decision tree.
+  Verdict onSchedChoice(const std::vector<unsigned> &Enabled,
+                        const std::vector<rmc::Footprint> &Fps,
+                        const std::vector<uint32_t> &HistLens, unsigned Pick);
 
   /// Hook for a forced or singleton schedule (no tree decision recorded):
-  /// prune-check only — never adds sleeps, because no sibling branch
-  /// exists at such a point.
-  bool onSchedule(unsigned Tid) const { return isAsleep(Tid); }
+  /// verdict only — never adds sleeps, because no sibling branch exists at
+  /// such a point. \p HistLen is the current history length of the picked
+  /// thread's pending location.
+  Verdict onSchedule(unsigned Tid, uint32_t HistLen);
+
+  /// Valid right after a Restricted verdict: the reads-from floor the
+  /// scheduler must install on the machine for the restricted step.
+  rmc::Loc restrictLoc() const { return RestrictL; }
+  uint32_t restrictVer() const { return RestrictVer; }
 
   /// Hook after a machine step by \p Tid with executed footprint \p F:
-  /// wakes every sleeping move dependent on the step (and drops \p Tid's
-  /// own entry if present — a thread's consecutive steps never commute).
+  /// wakes every sleeping move the refinement cannot keep asleep (classic
+  /// independence in sleep mode, rmc::sourceKeepsAsleep in source mode; the
+  /// stepping thread's own entry is always dropped — consecutive steps of
+  /// one thread never commute).
   void onStepExecuted(unsigned Tid, const rmc::Footprint &F);
+
+  /// Advance-time skip test (source mode): true when alternative \p Alt of
+  /// the \p Ordinal-th sched point of the last executed path is fully
+  /// covered by explored siblings, so the explorer may skip the subtree
+  /// without executing it (counted as Summary::SourcePruned). False for
+  /// unknown ordinals/alternatives and in sleep mode.
+  bool skipAlternative(size_t Ordinal, unsigned Alt) const;
 
   /// Installs the donor's sleep snapshot for a seeded (donated) prefix:
   /// when the recomputed state reaches sched ordinal \p Ordinal, it is
@@ -121,15 +165,21 @@ public:
   }
 
 private:
-  bool isAsleep(unsigned Tid) const;
+  const SleepMove *findAsleep(unsigned Tid) const;
+  /// The verdict for scheduling the move of sleeping entry \p E while its
+  /// location's history is \p HistLen long; Run when E is null. Pure — the
+  /// caller publishes the restriction fields for the picked move only.
+  Verdict verdictFor(const SleepMove *E, uint32_t HistLen) const;
   static void insertMove(std::vector<SleepMove> &S, unsigned Tid,
-                         const rmc::Footprint &Fp);
+                         const rmc::Footprint &Fp, uint32_t Ver);
 
   /// Snapshot of one sched choice point of the current execution, kept so
-  /// split() can annotate donated prefixes ending at any such point.
+  /// split() can annotate donated prefixes ending at any such point and so
+  /// the explorer can skip covered alternatives at advance time.
   struct SchedPoint {
     std::vector<SleepMove> Entry; ///< Sleep set before this point's adds.
     std::vector<SleepMove> Alts;  ///< Enabled moves, in choice order.
+    std::vector<uint8_t> Skip;    ///< Verdict per alternative (source mode).
   };
 
   std::vector<SleepMove> Cur;     ///< Current sleep set, sorted by Tid.
@@ -139,6 +189,10 @@ private:
   std::vector<SleepMove> Seed; ///< Donor snapshot (sorted by Tid).
   size_t SeedOrdinal = 0;
   bool HasSeed = false;
+  bool SourceMode = false;
+
+  rmc::Loc RestrictL = 0;    ///< Floor location of the last Restricted.
+  uint32_t RestrictVer = 0;  ///< Floor watermark of the last Restricted.
 
   Boundary LoopTop; ///< saveBoundary() scratch (see the COW section).
 };

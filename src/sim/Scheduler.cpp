@@ -95,6 +95,11 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
     if (!Threads[I]->Started)
       fatalError("scheduler run() with an unstarted thread");
 
+  // Reads-from duplicate detection rides on source-set reduction only; the
+  // masks are pure functions of the decision prefix, so enabling is a
+  // per-mode constant, re-asserted here for machines shared across modes.
+  M.enableDupDetect(Red && Red->sourceSets());
+
   for (;;) {
     if (M.raceDetected())
       return RunResult::Race;
@@ -176,22 +181,43 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
         ++Preemptions;
     }
 
+    bool RestrictedStep = false;
     if (Red) {
-      bool Asleep;
+      // History length of a pending footprint's location — the reads-from
+      // watermark material for the source-set refinement. Only read/write/
+      // update footprints carry a meaningful location.
+      auto HistOf = [this](const rmc::Footprint &Fp) -> uint32_t {
+        using K = rmc::Footprint::Kind;
+        if (Fp.K != K::Read && Fp.K != K::Write && Fp.K != K::Update)
+          return 0;
+        return static_cast<uint32_t>(M.historyLen(Fp.L));
+      };
+      Reduction::Verdict V;
       if (Chose) {
         // A real choice point: siblings exist, so alternatives before the
         // pick go to sleep and the pick itself is prune-checked.
         EnabledFps.clear();
-        for (unsigned Tid : Enabled)
+        EnabledHist.clear();
+        for (unsigned Tid : Enabled) {
           EnabledFps.push_back(Threads[Tid]->NextFp);
-        Asleep = Red->onSchedChoice(Enabled, EnabledFps, Pick);
+          EnabledHist.push_back(HistOf(EnabledFps.back()));
+        }
+        V = Red->onSchedChoice(Enabled, EnabledFps, EnabledHist, Pick);
       } else {
         // Forced or singleton pick: no sibling branch covers a delayed
         // version of a sleeping move here, so only prune-check.
-        Asleep = Red->onSchedule(Enabled[Pick]);
+        V = Red->onSchedule(Enabled[Pick],
+                            HistOf(Threads[Enabled[Pick]]->NextFp));
       }
-      if (Asleep)
+      if (V == Reduction::Verdict::Prune)
         return RunResult::SleepPruned;
+      if (V == Reduction::Verdict::Restricted) {
+        // Source-set restricted re-run of a sleeping read/update: only the
+        // reads-from options at or past the watermark are new; the machine
+        // filters the step's choice set accordingly.
+        M.setRfFloor(Red->restrictLoc(), Red->restrictVer());
+        RestrictedStep = true;
+      }
     }
 
     LastRun = Enabled[Pick];
@@ -210,6 +236,16 @@ Scheduler::RunResult Scheduler::run(uint64_t MaxSteps) {
       StepEnt &Ent = StepLog.back();
       Ent.OpEnd = static_cast<uint32_t>(OpLog.size());
       Ent.AuxEnd = M.auxMark();
+    }
+
+    if (RestrictedStep) {
+      // The restricted choice set can come up empty only for a predicated
+      // spin read (loadWhere): no new message satisfies the predicate, so
+      // every reads-from option was covered by the sibling that ran the
+      // move before the intervening writes.
+      const bool Empty = M.clearRfFloor();
+      if (Empty)
+        return RunResult::RfPruned;
     }
 
     if (Red) {

@@ -84,7 +84,12 @@ public:
     Race,       ///< The machine flagged a non-atomic data race.
     StepLimit,  ///< The step budget was exhausted (diverged/unfair run).
     Pruned,     ///< A thread flagged a stutter iteration (Env::prune).
-    SleepPruned ///< The sleep-set reduction cut this branch (Reduction.h).
+    SleepPruned, ///< The sleep/source-set reduction cut this branch
+                 ///< (Reduction.h).
+    RfPruned ///< A source-set restricted re-run found its reads-from
+             ///< option set empty: every reads-from choice of the step was
+             ///< already covered by the sibling that ran the move earlier
+             ///< (Reduction.h; only under source-set mode).
   };
 
   Scheduler(rmc::Machine &M, ChoiceSource &Choices)
@@ -290,9 +295,12 @@ private:
   uint64_t DoneMask = 0; ///< Finished threads with tid < 64 (live mirror).
 
   /// Scratch for run()'s per-step enabled-thread scan (allocation-free at
-  /// steady state).
+  /// steady state). EnabledHist carries, per enabled thread, the current
+  /// history length of its pending footprint's location — the reads-from
+  /// watermark material for the source-set reduction.
   std::vector<unsigned> Enabled;
   std::vector<rmc::Footprint> EnabledFps;
+  std::vector<uint32_t> EnabledHist;
 };
 
 namespace detail {
@@ -316,7 +324,8 @@ struct LoadAwaiter : OpAwaiterBase {
   rmc::MemOrder O;
   LoadAwaiter(Env &E, rmc::Loc L, rmc::MemOrder O)
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Read,
-                          O == rmc::MemOrder::SeqCst}),
+                          O == rmc::MemOrder::SeqCst,
+                          O != rmc::MemOrder::NonAtomic}),
         L(L), O(O) {}
   rmc::Value await_resume() {
     Scheduler &S = E.S;
@@ -335,7 +344,8 @@ struct StoreAwaiter : OpAwaiterBase {
   rmc::MemOrder O;
   StoreAwaiter(Env &E, rmc::Loc L, rmc::Value V, rmc::MemOrder O)
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Write,
-                          O == rmc::MemOrder::SeqCst}),
+                          O == rmc::MemOrder::SeqCst,
+                          O != rmc::MemOrder::NonAtomic}),
         L(L), V(V), O(O) {}
   void await_resume() {
     if (E.S.journalMode() == Scheduler::JournalMode::Replay)
@@ -355,7 +365,8 @@ struct CasAwaiter : OpAwaiterBase {
              rmc::MemOrder SuccO, rmc::MemOrder FailO)
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Update,
                           SuccO == rmc::MemOrder::SeqCst ||
-                              FailO == rmc::MemOrder::SeqCst}),
+                              FailO == rmc::MemOrder::SeqCst,
+                          /*Atomic=*/true}),
         L(L), Expected(Expected), Desired(Desired), SuccO(SuccO),
         FailO(FailO) {}
   rmc::Machine::CasResult await_resume() {
@@ -378,7 +389,7 @@ struct FaaAwaiter : OpAwaiterBase {
   rmc::MemOrder O;
   FaaAwaiter(Env &E, rmc::Loc L, rmc::Value Add, rmc::MemOrder O)
       : OpAwaiterBase(E, {L, rmc::Footprint::Kind::Update,
-                          O == rmc::MemOrder::SeqCst}),
+                          O == rmc::MemOrder::SeqCst, /*Atomic=*/true}),
         L(L), Add(Add), O(O) {}
   rmc::Value await_resume() {
     Scheduler &S = E.S;
@@ -470,7 +481,8 @@ struct SpinAwaiter {
   void await_suspend(std::coroutine_handle<> H) {
     E.S.parkBlocked(E.Tid, H, L, Pred,
                     {L, rmc::Footprint::Kind::Read,
-                     O == rmc::MemOrder::SeqCst});
+                     O == rmc::MemOrder::SeqCst,
+                     O != rmc::MemOrder::NonAtomic});
   }
   rmc::Value await_resume() {
     Scheduler &S = E.S;

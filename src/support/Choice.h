@@ -17,6 +17,7 @@
 #define COMPASS_SUPPORT_CHOICE_H
 
 #include <cstddef>
+#include <cstdint>
 
 namespace compass {
 
@@ -29,11 +30,38 @@ public:
   /// static string naming the decision kind, for diagnostics and traces.
   virtual unsigned choose(unsigned Count, const char *Tag) = 0;
 
+  /// choose() with a restricted enumeration: the decision is *recorded* at
+  /// arity \p Count (so a reduction-free replay of the trace sees the same
+  /// decision stream — restricted sets are prefixes of the unrestricted
+  /// newest-first enumeration, indices mean the same thing), but only
+  /// alternatives in [0, Limit) are enumerated. Requires 1 <= Limit <=
+  /// Count. Used by the machine when a source-set reads-from floor cuts a
+  /// load/CAS choice set; must be called even when the restricted set
+  /// collapses to a single alternative, precisely so the recorded stream
+  /// keeps one decision per unrestricted multi-alternative site. Sources
+  /// without an enumeration notion resolve it like a plain choose().
+  virtual unsigned chooseLimited(unsigned Count, unsigned Limit,
+                                 const char *Tag) {
+    (void)Limit;
+    return choose(Count, Tag);
+  }
+
   /// Number of decisions this source has resolved in the current execution.
   /// Exhaustive sources (the explorer's decision tree) report their position
   /// so the copy-on-write engine can mark decision boundaries; sources with
   /// no such notion return 0.
   virtual size_t decisionPosition() const { return 0; }
+
+  /// Announces, for the *next* choose() call, which alternatives are
+  /// reads-from duplicates of their immediate predecessor (bit k set:
+  /// alternative k reads a message with the same value and knowledge as
+  /// alternative k-1, timestamp-adjacent and strictly below the
+  /// modification-order maximum — so the two post-states canonicalize to
+  /// the same execution-state fingerprint). The machine reports the mask
+  /// right before the choice when duplicate detection is enabled; the
+  /// explorer's source-set mode uses it to skip the duplicate subtrees
+  /// (Summary::CacheHits). Default: ignore.
+  virtual void noteChoiceDup(uint64_t Mask) { (void)Mask; }
 };
 
 /// A trivial source that always picks alternative 0 (the newest message, the

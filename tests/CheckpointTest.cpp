@@ -29,6 +29,8 @@
 
 #include <atomic>
 #include <memory>
+#include <sstream>
+#include <vector>
 
 using namespace compass;
 using namespace compass::rmc;
@@ -128,6 +130,98 @@ TEST(SnapshotFormat, RoundTripsInterruptedExploration) {
 
   // Serialization is deterministic: a second round trip is bit-identical.
   EXPECT_EQ(serializeSnapshot(Back), Text);
+}
+
+TEST(SnapshotFormat, RoundTripsSourceModeState) {
+  // Source-set snapshots carry the per-sleeper Atomic flag and reads-from
+  // watermark plus the three source-set counters ("snapshot v2" fields) —
+  // all of it must survive the text round trip bit-exactly.
+  auto R = interruptAt(msQueueWorkload(2, ReductionMode::SourceSet), 200);
+  ASSERT_TRUE(R.Interrupted);
+  ASSERT_FALSE(R.Snapshot.empty());
+
+  std::string Text = serializeSnapshot(R.Snapshot);
+  EXPECT_EQ(Text.rfind("snapshot v2", 0), 0u)
+      << "writer must emit the v2 header";
+  ExplorationSnapshot Back;
+  std::string Err;
+  ASSERT_TRUE(parseSnapshot(Text, Back, Err)) << Err;
+  EXPECT_TRUE(Back.Partial.coreEquals(R.Snapshot.Partial))
+      << "saved:  " << R.Snapshot.Partial.str()
+      << "\nparsed: " << Back.Partial.str();
+  ASSERT_EQ(Back.Frontier.size(), R.Snapshot.Frontier.size());
+  for (size_t I = 0; I != Back.Frontier.size(); ++I)
+    EXPECT_TRUE(prefixEquals(Back.Frontier[I], R.Snapshot.Frontier[I]))
+        << "frontier prefix " << I;
+  EXPECT_EQ(serializeSnapshot(Back), Text);
+}
+
+TEST(SnapshotFormat, AcceptsV1Snapshots) {
+  // Pre-source-set checkpoints on disk must keep resuming: downgrade a
+  // sleep-mode snapshot to the v1 grammar (no source counters, 4-field
+  // sleep records) and parse it. Sleep mode never *consults* the missing
+  // fields (the Atomic flag and rf watermark only drive source-set
+  // refinement), so the downgrade is lossless for resume purposes.
+  auto R = interruptAt(msQueueWorkload(1, ReductionMode::SleepSet), 200);
+  ASSERT_TRUE(R.Interrupted);
+  std::string V2 = serializeSnapshot(R.Snapshot);
+
+  std::string V1;
+  std::istringstream In(V2);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line == "snapshot v2") {
+      Line = "snapshot v1";
+    } else if (Line.rfind("summary ", 0) == 0) {
+      // Drop fields 8-10 (RfPruned SourcePruned CacheHits) of 14.
+      std::istringstream F(Line.substr(8));
+      std::vector<std::string> W;
+      for (std::string T; F >> T;)
+        W.push_back(T);
+      ASSERT_EQ(W.size(), 14u) << Line;
+      W.erase(W.begin() + 7, W.begin() + 10);
+      Line = "summary";
+      for (const std::string &T : W)
+        Line += " " + T;
+    } else if (Line.rfind("s ", 0) == 0) {
+      // Drop the trailing <Atomic> <Ver> pair.
+      size_t E = Line.find_last_of(' ');
+      ASSERT_NE(E, std::string::npos);
+      E = Line.find_last_of(' ', E - 1);
+      ASSERT_NE(E, std::string::npos);
+      Line.resize(E);
+    }
+    V1 += Line + "\n";
+  }
+
+  ExplorationSnapshot Back;
+  std::string Err;
+  ASSERT_TRUE(parseSnapshot(V1, Back, Err)) << Err;
+  EXPECT_TRUE(Back.Partial.coreEquals(R.Snapshot.Partial))
+      << "saved:  " << R.Snapshot.Partial.str()
+      << "\nparsed: " << Back.Partial.str();
+  ASSERT_EQ(Back.Frontier.size(), R.Snapshot.Frontier.size());
+  // Footprint equality deliberately ignores the Atomic flag (stale
+  // snapshots remain comparable), so the stripped sleep records still
+  // match move-for-move.
+  for (size_t I = 0; I != Back.Frontier.size(); ++I)
+    EXPECT_TRUE(prefixEquals(Back.Frontier[I], R.Snapshot.Frontier[I]))
+        << "frontier prefix " << I;
+  // Re-serialization upgrades to the v2 header (the dropped Atomic flags
+  // are gone for good, which sleep-mode resume never notices).
+  EXPECT_EQ(serializeSnapshot(Back).rfind("snapshot v2", 0), 0u);
+
+  // The v1-parsed snapshot must actually resume to the uninterrupted
+  // reference core.
+  std::string Err2;
+  ASSERT_TRUE(parseSnapshot(V1, Back, Err2)) << Err2;
+  ExploreControl Run;
+  auto Done = exploreResumable(msQueueWorkload(1, ReductionMode::SleepSet),
+                               Run, &Back);
+  EXPECT_FALSE(Done.Interrupted);
+  auto Ref = explore(msQueueWorkload(1, ReductionMode::SleepSet));
+  EXPECT_TRUE(Done.Sum.coreEquals(Ref))
+      << "reference: " << Ref.str() << "\nresumed:   " << Done.Sum.str();
 }
 
 TEST(SnapshotFormat, RoundTripsViolationState) {
@@ -230,6 +324,57 @@ TEST(SweepCheckpointFormat, RoundTripsAndRejectsMalformed) {
   ASSERT_NE(P, std::string::npos);
   Wrong.replace(P, 6, "libs 0"); // empty library list
   BadCk(Wrong);
+  // A config line without the reduction/engine words (the pre-fix grammar)
+  // must be rejected, not silently defaulted.
+  Wrong = Text;
+  P = Wrong.find("\ngen ");
+  ASSERT_NE(P, std::string::npos);
+  size_t CfgEnd = Wrong.rfind(' ', P - 1);
+  size_t CfgEnd2 = Wrong.rfind(' ', CfgEnd - 1);
+  Wrong.erase(CfgEnd2, P - CfgEnd2); // strip "<red> <engine>"
+  BadCk(Wrong);
+}
+
+TEST(SweepCheckpointFormat, RecordsReductionModeAndEnginePath) {
+  using namespace compass::check;
+
+  // Regression: the checkpoint writer used to serialize every non-sleep
+  // mode as "none", so a source-set sweep silently resumed unreduced (and
+  // fingerprint-diverged). The config line must round-trip the exact mode
+  // and engine path the executed share ran under.
+  for (ReductionMode Red : {ReductionMode::None, ReductionMode::SleepSet,
+                            ReductionMode::SourceSet}) {
+    SweepOptions O;
+    O.Seed = 5;
+    O.ScenariosPerLib = 2;
+    O.Workers = 2;
+    O.MaxExecutionsPerScenario = 60000;
+    O.Reduction = Red;
+    O.Engine = EnginePath::RootReplay;
+    O.Libs = {Lib::MsQueue, Lib::TreiberStack};
+    std::atomic<bool> Stop{true};
+    SweepControl Ctl;
+    Ctl.StopRequested = &Stop;
+    SweepResult R = runSweepResumable(O, Ctl);
+    ASSERT_TRUE(R.Interrupted);
+    EXPECT_EQ(R.Ckpt.Reduction, Red);
+    EXPECT_EQ(R.Ckpt.Engine, EnginePath::RootReplay);
+
+    std::string Text = serializeSweepCheckpoint(R.Ckpt);
+    std::istringstream In(Text);
+    std::string Header, Config;
+    ASSERT_TRUE(std::getline(In, Header) && std::getline(In, Config));
+    std::string Want =
+        std::string(" ") + reductionModeName(Red) + " root";
+    EXPECT_NE(Config.find(Want), std::string::npos)
+        << "config line does not record the mode: " << Config;
+
+    SweepCheckpoint Back;
+    std::string Err;
+    ASSERT_TRUE(parseSweepCheckpoint(Text, Back, Err)) << Err;
+    EXPECT_EQ(Back.Reduction, Red) << reductionModeName(Red);
+    EXPECT_EQ(Back.Engine, EnginePath::RootReplay);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -287,11 +432,21 @@ TEST(ResumeExactness, SleepReductionParallel) {
   expectResumeExact(ReductionMode::SleepSet, 2, 4);
 }
 
+TEST(ResumeExactness, SourceReductionSerial) {
+  expectResumeExact(ReductionMode::SourceSet, 1, 2);
+}
+
+TEST(ResumeExactness, SourceReductionParallel) {
+  expectResumeExact(ReductionMode::SourceSet, 2, 4);
+}
+
 TEST(ResumeExactness, ManySegmentsStillExact) {
   // Interrupt every ~sixth of the tree until done, rotating worker
   // counts; the chained segments must still land on the uninterrupted
-  // core.
-  const ReductionMode Red = ReductionMode::SleepSet;
+  // core. Source sets stress the donated-prefix snapshot validation the
+  // hardest (every hop re-seeds sleep state, watermarks, and dup masks).
+  for (const ReductionMode Red :
+       {ReductionMode::SleepSet, ReductionMode::SourceSet}) {
   auto Ref = explore(msQueueWorkload(1, Red));
   ASSERT_TRUE(Ref.Exhausted);
   const uint64_t Stride = std::max<uint64_t>(Ref.Executions / 6, 25);
@@ -320,6 +475,7 @@ TEST(ResumeExactness, ManySegmentsStillExact) {
   EXPECT_GE(Segments, 3u) << "tree too small to test multi-segment resume";
   EXPECT_TRUE(Final.coreEquals(Ref))
       << "reference: " << Ref.str() << "\nchained:   " << Final.str();
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -108,6 +108,41 @@ TEST(Corpus, ReplaysFailAgainstMutant) {
   }
 }
 
+TEST(Corpus, EbrShrinkPreservesReclamationFault) {
+  // Shrinking an EBR counterexample must hand back a reproduction that
+  // still fails for the reclamation-protocol reason. The hazard specific
+  // to this family: every pin/unpin pair lives inside one scenario op, so
+  // a structurally valid drop-thread/drop-op candidate can never strand an
+  // open pin session or orphan a retire — but a careless trace truncation
+  // (pass 4) could still turn the violation into a DEADLOCK or STEP-LIMIT
+  // artifact. Lock in the full contract.
+  for (const auto &P : corpusFiles()) {
+    CorpusEntry E = parseFileOrFail(P);
+    if (E.S.L != Lib::TreiberEbr)
+      continue;
+    SCOPED_TRACE(P.filename().string());
+    ShrinkResult R = shrinkCounterexample(E.S, E.Mut, E.Decisions);
+    TraceDiagnosis D =
+        diagnoseTrace(R.Min, E.Mut, scenarioOptions(R.Min, 1, 1), R.Decisions);
+    ASSERT_TRUE(D.failing())
+        << "shrunk EBR counterexample no longer fails: " << R.Min.str();
+    EXPECT_FALSE(D.RR.Diverged)
+        << "shrunk EBR trace is not divergence-free: " << R.Min.str();
+    // The fault must be the machine-level reclamation fault, not a
+    // secondary artifact of the shrink.
+    EXPECT_EQ(D.Run, sim::Scheduler::RunResult::Race)
+        << "shrunk verdict: " << D.V.str();
+    EXPECT_TRUE(D.V.Rule == "USE_AFTER_RETIRE" ||
+                D.V.Rule == "PREMATURE_FREE")
+        << "shrunk verdict: " << D.V.str();
+    // And the shrunk scenario must stay clean against the pristine stack.
+    std::vector<unsigned> Failing;
+    EXPECT_FALSE(scenarioFails(R.Min, Mutation::None, 100000, Failing))
+        << "pristine library fails shrunk scenario " << R.Min.str()
+        << "; failing trace: " << sim::formatReplayCall(Failing);
+  }
+}
+
 TEST(Corpus, PristineExplorationIsClean) {
   for (const auto &P : corpusFiles()) {
     SCOPED_TRACE(P.filename().string());

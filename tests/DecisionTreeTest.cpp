@@ -242,11 +242,13 @@ rmc::Footprint writeFp(rmc::Loc L) {
 void runSchedExecution(DecisionTree &T, Reduction &Red,
                        const std::vector<unsigned> &En,
                        const std::vector<rmc::Footprint> &Fps) {
+  const std::vector<uint32_t> Hist(En.size(), 0);
   T.beginExecution();
   Red.beginExecution();
   for (int Level = 0; Level != 2; ++Level) {
     unsigned Pick = T.next(3, "sched");
-    ASSERT_FALSE(Red.onSchedChoice(En, Fps, Pick));
+    ASSERT_EQ(Red.onSchedChoice(En, Fps, Hist, Pick),
+              Reduction::Verdict::Run);
     Red.onStepExecuted(En[Pick], Fps[Pick]);
   }
 }
@@ -298,7 +300,9 @@ TEST(DecisionTreeTest, SplitPrefixCarriesSleepSnapshotAndReseeds) {
     EXPECT_EQ(Pick, Chosen);
     // The replayed pick is never itself asleep, and the recomputed state
     // matches the donor's snapshot bit for bit.
-    EXPECT_FALSE(R2.onSchedChoice(En, Fps, Pick));
+    EXPECT_EQ(R2.onSchedChoice(En, Fps, std::vector<uint32_t>(En.size(), 0),
+                               Pick),
+              Reduction::Verdict::Run);
     EXPECT_EQ(R2.current(), Snapshot);
   }
 }
@@ -309,7 +313,8 @@ TEST(DecisionTreeTest, AnnotateSkipsPrefixesNotEndingInSchedDecisions) {
 
   Reduction Red;
   Red.beginExecution();
-  ASSERT_FALSE(Red.onSchedChoice(En, Fps, 2)); // sleeps {0, 1}
+  ASSERT_EQ(Red.onSchedChoice(En, Fps, {0, 0, 0}, 2),
+            Reduction::Verdict::Run); // sleeps {0, 1}
 
   // A prefix ending in a read-from decision must not be annotated: pruning
   // is only sound at thread-choice points.
@@ -338,7 +343,7 @@ TEST(DecisionTreeDeathTest, DivergentSleepSeedIsFatal) {
   R.setSeed({{1, Fps[1]}}, 0); // Donor claims only thread 1 sleeps...
   R.beginExecution();
   // ...but replaying pick 2 recomputes {0, 1}.
-  EXPECT_DEATH(R.onSchedChoice(En, Fps, 2), "diverged");
+  EXPECT_DEATH(R.onSchedChoice(En, Fps, {0, 0, 0}, 2), "diverged");
 }
 
 TEST(DecisionTreeDeathTest, ArityChangeDuringReplayIsFatal) {

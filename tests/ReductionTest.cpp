@@ -1,21 +1,24 @@
-//===-- tests/ReductionTest.cpp - Sleep-set reduction equivalence ---------===//
+//===-- tests/ReductionTest.cpp - Reduction-mode equivalence --------------===//
 //
-// The sleep-set partial-order reduction (sim/Reduction.h, DESIGN.md §8)
-// must be a pure state-space optimization: it may skip executions, never
-// verdicts. The suite checks, at three layers:
+// The partial-order reductions (sim/Reduction.h, DESIGN.md §8/§12) must be
+// pure state-space optimizations: they may skip executions, never
+// verdicts. The suite checks all three modes (none / sleep / source), at
+// three layers:
 //
-//  * accounting — SleepPruned is zero under Reduction::None, positive on
-//    contended workloads under SleepSet, and the execution counters always
-//    reconcile (Executions == Completed + Deadlocks + Races + Diverged +
-//    Pruned + SleepPruned);
+//  * accounting — the reduction counters are zero under Reduction::None,
+//    positive on contended workloads under SleepSet/SourceSet, and the
+//    execution counters always reconcile (Executions == Completed +
+//    Deadlocks + Races + Diverged + Pruned + SleepPruned + RfPruned;
+//    SourcePruned and CacheHits count skips that never burn an execution);
 //  * soundness — reduced exploration still reaches the weak-behavior
 //    violations of the MP litmus, and for every shrunk counterexample in
-//    tests/corpus/ the reduced and unreduced hunts report the identical
-//    violation verdict (rule + culprit library), while corpus decision
-//    traces keep replaying to a failing verdict (replay never prunes);
+//    tests/corpus/ all three hunts report the identical violation verdict
+//    (rule + culprit library), while corpus decision traces keep replaying
+//    to a failing verdict (replay never prunes);
 //  * determinism — reduced summaries (coreEquals) and the reduced sweep
-//    fingerprint are bit-identical across 1/2/4 workers, extending the
-//    ParallelTest determinism suite to Reduction::SleepSet.
+//    fingerprint are bit-identical across 1/2/4 workers and across the
+//    copy-on-write / root-replay engine paths, extending the ParallelTest
+//    determinism suite to both reduction modes.
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,12 +49,16 @@ using namespace compass::sim;
 namespace {
 
 /// Counter identity every summary must satisfy: each execution ends in
-/// exactly one of these bins.
+/// exactly one of these bins. SourcePruned and CacheHits are deliberately
+/// absent — they count alternatives skipped *without* starting an
+/// execution, so they must never leak into the execution total.
 void expectReconciled(const Explorer::Summary &S, const char *Name) {
   EXPECT_EQ(S.Executions, S.Completed + S.Deadlocks + S.Races + S.Diverged +
-                              S.Pruned + S.SleepPruned)
+                              S.Pruned + S.SleepPruned + S.RfPruned)
       << Name << ": " << S.str();
 }
+
+const char *modeName(ReductionMode R) { return sim::reductionModeName(R); }
 
 //===----------------------------------------------------------------------===//
 // Workloads (reduction-aware Check: pruned runs are not violations)
@@ -129,7 +136,8 @@ Workload msQueueWorkload(unsigned Workers, ReductionMode Red) {
         [St](Machine &, Scheduler &, Scheduler::RunResult R) {
           if (R != Scheduler::RunResult::Done)
             return R == Scheduler::RunResult::Pruned ||
-                   R == Scheduler::RunResult::SleepPruned;
+                   R == Scheduler::RunResult::SleepPruned ||
+                   R == Scheduler::RunResult::RfPruned;
           return spec::checkQueueConsistent(St->Mon->graph(), St->Q->objId())
               .ok();
         }};
@@ -245,8 +253,20 @@ TEST(ReductionAccounting, NoSleepPrunesUnderReductionNone) {
                     }}) {
     auto Sum = explore(Make(ReductionMode::None));
     EXPECT_EQ(Sum.SleepPruned, 0u) << Sum.str();
+    EXPECT_EQ(Sum.RfPruned, 0u) << Sum.str();
+    EXPECT_EQ(Sum.SourcePruned, 0u) << Sum.str();
+    EXPECT_EQ(Sum.CacheHits, 0u) << Sum.str();
     expectReconciled(Sum, "unreduced");
   }
+}
+
+TEST(ReductionAccounting, SleepSetLeavesSourceCountersZero) {
+  // Sleep mode must not engage any of the source-set machinery.
+  auto Sum = explore(msQueueWorkload(1, ReductionMode::SleepSet));
+  EXPECT_EQ(Sum.RfPruned, 0u) << Sum.str();
+  EXPECT_EQ(Sum.SourcePruned, 0u) << Sum.str();
+  EXPECT_EQ(Sum.CacheHits, 0u) << Sum.str();
+  expectReconciled(Sum, "sleep");
 }
 
 TEST(ReductionAccounting, SleepSetPrunesAndReconciles) {
@@ -265,6 +285,40 @@ TEST(ReductionAccounting, SleepSetPrunesAndReconciles) {
   // Both runs agree there is nothing to report.
   EXPECT_EQ(Red.Violations, 0u) << Red.str();
   EXPECT_EQ(Un.Violations, 0u) << Un.str();
+}
+
+TEST(ReductionAccounting, SourceSetPrunesAndReconciles) {
+  auto Sleep = explore(msQueueWorkload(1, ReductionMode::SleepSet));
+  auto Src = explore(msQueueWorkload(1, ReductionMode::SourceSet));
+  expectReconciled(Sleep, "sleep");
+  expectReconciled(Src, "source");
+  EXPECT_TRUE(Src.Exhausted);
+  // The source-set machinery actually fired...
+  EXPECT_GT(Src.SourcePruned + Src.RfPruned + Src.CacheHits, 0u)
+      << Src.str();
+  // ...and the mode does strictly less execution work than sleep sets on
+  // this contended workload (the headline claim of DESIGN.md §12).
+  EXPECT_LT(Src.Executions, Sleep.Executions)
+      << "sleep: " << Sleep.str() << "\nsource: " << Src.str();
+  // Verdict-equivalent: both clean, both exhaustive.
+  EXPECT_EQ(Src.Violations, 0u) << Src.str();
+  EXPECT_EQ(Sleep.Violations, 0u) << Sleep.str();
+}
+
+TEST(ReductionAccounting, ThreeModesReconcileOnEveryWorkload) {
+  for (ReductionMode Red : {ReductionMode::None, ReductionMode::SleepSet,
+                            ReductionMode::SourceSet}) {
+    for (auto Make :
+         {+[](ReductionMode R) { return msQueueWorkload(1, R); },
+          +[](ReductionMode R) {
+            return mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed, R);
+          },
+          +[](ReductionMode R) { return ebrStackWorkload(1, R); }}) {
+      auto Sum = explore(Make(Red));
+      expectReconciled(Sum, modeName(Red));
+      EXPECT_TRUE(Sum.Exhausted) << modeName(Red) << ": " << Sum.str();
+    }
+  }
 }
 
 TEST(ReductionAccounting, RandomModeIgnoresReductionRequest) {
@@ -289,28 +343,36 @@ TEST(ReductionAccounting, RandomModeIgnoresReductionRequest) {
 TEST(ReductionSoundness, WeakMpViolationsSurviveReduction) {
   auto Un = explore(mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed,
                                ReductionMode::None));
-  auto Red = explore(mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed,
-                                ReductionMode::SleepSet));
   ASSERT_TRUE(Un.HasViolation);
-  ASSERT_TRUE(Red.HasViolation)
-      << "reduction pruned every stale-data execution: " << Red.str();
-  EXPECT_GT(Red.Violations, 0u);
+  for (ReductionMode Mode :
+       {ReductionMode::SleepSet, ReductionMode::SourceSet}) {
+    auto Red = explore(
+        mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed, Mode));
+    ASSERT_TRUE(Red.HasViolation)
+        << modeName(Mode)
+        << " pruned every stale-data execution: " << Red.str();
+    EXPECT_GT(Red.Violations, 0u);
 
-  // The surfaced reduced trace replays (unreduced, as replay always is) to
-  // the same failing check.
-  Workload W = mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed,
-                          ReductionMode::None);
-  ReplayResult RR = replay(W, Red.firstViolationDecisions());
-  EXPECT_EQ(RR.Run, Scheduler::RunResult::Done);
-  EXPECT_FALSE(RR.CheckOk) << "reduced counterexample must reproduce";
-  EXPECT_FALSE(RR.Diverged);
+    // The surfaced reduced trace replays (unreduced, as replay always is)
+    // to the same failing check.
+    Workload W = mpWorkload(1, MemOrder::Relaxed, MemOrder::Relaxed,
+                            ReductionMode::None);
+    ReplayResult RR = replay(W, Red.firstViolationDecisions());
+    EXPECT_EQ(RR.Run, Scheduler::RunResult::Done) << modeName(Mode);
+    EXPECT_FALSE(RR.CheckOk)
+        << modeName(Mode) << " counterexample must reproduce";
+    EXPECT_FALSE(RR.Diverged) << modeName(Mode);
+  }
 }
 
 TEST(ReductionSoundness, CleanMpStaysCleanUnderReduction) {
-  auto Red = explore(mpWorkload(1, MemOrder::Release, MemOrder::Acquire,
-                                ReductionMode::SleepSet));
-  EXPECT_EQ(Red.Violations, 0u) << Red.str();
-  EXPECT_TRUE(Red.Exhausted);
+  for (ReductionMode Mode :
+       {ReductionMode::SleepSet, ReductionMode::SourceSet}) {
+    auto Red = explore(
+        mpWorkload(1, MemOrder::Release, MemOrder::Acquire, Mode));
+    EXPECT_EQ(Red.Violations, 0u) << modeName(Mode) << ": " << Red.str();
+    EXPECT_TRUE(Red.Exhausted) << modeName(Mode);
+  }
 }
 
 TEST(ReductionSoundness, CorpusMutantsReportIdenticalVerdicts) {
@@ -336,30 +398,38 @@ TEST(ReductionSoundness, CorpusMutantsReportIdenticalVerdicts) {
       return true;
     };
 
-    std::string UnRule, RedRule;
+    std::string UnRule, SleepRule, SrcRule;
     ASSERT_TRUE(ruleFor(ReductionMode::None, UnRule))
         << P.filename() << ": unreduced hunt lost the violation";
-    ASSERT_TRUE(ruleFor(ReductionMode::SleepSet, RedRule))
-        << P.filename() << ": reduced hunt lost the violation "
+    ASSERT_TRUE(ruleFor(ReductionMode::SleepSet, SleepRule))
+        << P.filename() << ": sleep-set hunt lost the violation "
         << "(library " << check::libName(E.S.L) << ")";
-    EXPECT_EQ(UnRule, RedRule)
-        << P.filename() << ": verdict rule diverged under reduction for "
+    ASSERT_TRUE(ruleFor(ReductionMode::SourceSet, SrcRule))
+        << P.filename() << ": source-set hunt lost the violation "
+        << "(library " << check::libName(E.S.L) << ")";
+    EXPECT_EQ(UnRule, SleepRule)
+        << P.filename() << ": verdict rule diverged under sleep sets for "
+        << check::libName(E.S.L);
+    EXPECT_EQ(UnRule, SrcRule)
+        << P.filename() << ": verdict rule diverged under source sets for "
         << check::libName(E.S.L);
   }
 }
 
 TEST(ReductionSoundness, CorpusTracesReplayUnderReductionDefaults) {
   // diagnoseTrace goes through sim::replay, which never prunes — corpus
-  // decision traces stay valid replays no matter the configured mode.
-  for (const auto &P : corpusFiles()) {
-    check::CorpusEntry E = parseFileOrFail(P);
-    check::TraceDiagnosis D = check::diagnoseTrace(
-        E.S, E.Mut,
-        check::scenarioOptions(E.S, 1, 1, ReductionMode::SleepSet),
-        E.Decisions);
-    EXPECT_TRUE(D.failing())
-        << P.filename() << ": corpus trace no longer fails; " << D.V.str();
-  }
+  // decision traces stay valid replays no matter the configured mode
+  // (including the source-set default).
+  for (ReductionMode Mode :
+       {ReductionMode::SleepSet, ReductionMode::SourceSet})
+    for (const auto &P : corpusFiles()) {
+      check::CorpusEntry E = parseFileOrFail(P);
+      check::TraceDiagnosis D = check::diagnoseTrace(
+          E.S, E.Mut, check::scenarioOptions(E.S, 1, 1, Mode), E.Decisions);
+      EXPECT_TRUE(D.failing())
+          << P.filename() << " (" << modeName(Mode)
+          << "): corpus trace no longer fails; " << D.V.str();
+    }
 }
 
 //===----------------------------------------------------------------------===//
@@ -368,14 +438,20 @@ TEST(ReductionSoundness, CorpusTracesReplayUnderReductionDefaults) {
 
 namespace {
 
-void expectReducedDeterministic(Workload (*Make)(unsigned),
-                                const char *Name) {
-  auto S1 = explore(Make(1));
-  auto S2 = explore(Make(2));
-  auto S4 = explore(Make(4));
+void expectReducedDeterministic(Workload (*Make)(unsigned, ReductionMode),
+                                ReductionMode Red, const char *Name) {
+  auto S1 = explore(Make(1, Red));
+  auto S2 = explore(Make(2, Red));
+  auto S4 = explore(Make(4, Red));
   expectReconciled(S1, Name);
+  // coreEquals covers all reduction counters (SleepPruned, RfPruned,
+  // SourcePruned, CacheHits); the explicit checks give readable failures.
   EXPECT_EQ(S1.SleepPruned, S2.SleepPruned) << Name;
   EXPECT_EQ(S1.SleepPruned, S4.SleepPruned) << Name;
+  EXPECT_EQ(S1.SourcePruned, S2.SourcePruned) << Name;
+  EXPECT_EQ(S1.SourcePruned, S4.SourcePruned) << Name;
+  EXPECT_EQ(S1.CacheHits, S2.CacheHits) << Name;
+  EXPECT_EQ(S1.CacheHits, S4.CacheHits) << Name;
   EXPECT_TRUE(S1.coreEquals(S2))
       << Name << "\nserial:   " << S1.str() << "\n2-worker: " << S2.str();
   EXPECT_TRUE(S1.coreEquals(S4))
@@ -386,17 +462,36 @@ void expectReducedDeterministic(Workload (*Make)(unsigned),
 
 TEST(ReductionDeterminism, ReducedMsQueueAcrossWorkers) {
   expectReducedDeterministic(
-      +[](unsigned W) { return msQueueWorkload(W, ReductionMode::SleepSet); },
-      "MS queue reduced");
+      +[](unsigned W, ReductionMode R) { return msQueueWorkload(W, R); },
+      ReductionMode::SleepSet, "MS queue sleep");
+  expectReducedDeterministic(
+      +[](unsigned W, ReductionMode R) { return msQueueWorkload(W, R); },
+      ReductionMode::SourceSet, "MS queue source");
 }
 
 TEST(ReductionDeterminism, ReducedMpLitmusAcrossWorkers) {
-  expectReducedDeterministic(
-      +[](unsigned W) {
-        return mpWorkload(W, MemOrder::Relaxed, MemOrder::Relaxed,
-                          ReductionMode::SleepSet);
-      },
-      "MP rlx reduced");
+  auto Make = +[](unsigned W, ReductionMode R) {
+    return mpWorkload(W, MemOrder::Relaxed, MemOrder::Relaxed, R);
+  };
+  expectReducedDeterministic(Make, ReductionMode::SleepSet, "MP rlx sleep");
+  expectReducedDeterministic(Make, ReductionMode::SourceSet,
+                             "MP rlx source");
+}
+
+TEST(ReductionDeterminism, SourceEbrStackAcrossWorkers) {
+  // The reclamation workload's ghost steps (Reclaim/Free footprints) must
+  // stay sound under source sets too: summary core bit-identical at 1/2/4
+  // workers, no faults, no violations.
+  auto S1 = explore(ebrStackWorkload(1, ReductionMode::SourceSet));
+  auto S2 = explore(ebrStackWorkload(2, ReductionMode::SourceSet));
+  auto S4 = explore(ebrStackWorkload(4, ReductionMode::SourceSet));
+  expectReconciled(S1, "EBR stack source");
+  EXPECT_EQ(S1.Races, 0u) << "pristine EBR stack faulted: " << S1.str();
+  EXPECT_EQ(S1.Violations, 0u) << S1.str();
+  EXPECT_TRUE(S1.coreEquals(S2))
+      << "serial:   " << S1.str() << "\n2-worker: " << S2.str();
+  EXPECT_TRUE(S1.coreEquals(S4))
+      << "serial:   " << S1.str() << "\n4-worker: " << S4.str();
 }
 
 TEST(ReductionDeterminism, ReducedEbrStackAcrossWorkers) {
@@ -448,22 +543,36 @@ TEST(ReductionDeterminism, ReducedSweepFingerprintAcrossWorkers) {
               check::Lib::SpscRing, check::Lib::WsDeque};
     return check::runSweep(O);
   };
-  check::SweepReport R1 = Run(1, ReductionMode::SleepSet);
-  check::SweepReport R2 = Run(2, ReductionMode::SleepSet);
-  check::SweepReport R4 = Run(4, ReductionMode::SleepSet);
-  EXPECT_TRUE(R1.clean()) << R1.str();
-  EXPECT_EQ(R1.fingerprint(), R2.fingerprint())
-      << "serial:\n" << R1.str() << "2 workers:\n" << R2.str();
-  EXPECT_EQ(R1.fingerprint(), R4.fingerprint())
-      << "serial:\n" << R1.str() << "4 workers:\n" << R4.str();
+  for (ReductionMode Red :
+       {ReductionMode::SleepSet, ReductionMode::SourceSet}) {
+    check::SweepReport R1 = Run(1, Red);
+    check::SweepReport R2 = Run(2, Red);
+    check::SweepReport R4 = Run(4, Red);
+    EXPECT_TRUE(R1.clean()) << modeName(Red) << ":\n" << R1.str();
+    EXPECT_EQ(R1.fingerprint(), R2.fingerprint())
+        << modeName(Red) << " serial:\n"
+        << R1.str() << "2 workers:\n"
+        << R2.str();
+    EXPECT_EQ(R1.fingerprint(), R4.fingerprint())
+        << modeName(Red) << " serial:\n"
+        << R1.str() << "4 workers:\n"
+        << R4.str();
+  }
 
-  // The reduced sweep does strictly less work than the unreduced one on
-  // the same scenarios, and the two modes' fingerprints intentionally
-  // differ (they fold different execution counts).
+  // Each reduced sweep does strictly less work than the unreduced one on
+  // the same scenarios, and the modes' fingerprints intentionally differ
+  // (they fold different execution counts).
   check::SweepReport Un = Run(1, ReductionMode::None);
+  check::SweepReport Sl = Run(1, ReductionMode::SleepSet);
+  check::SweepReport Sr = Run(1, ReductionMode::SourceSet);
   EXPECT_TRUE(Un.clean()) << Un.str();
-  EXPECT_LT(R1.totalExecutions(), Un.totalExecutions());
-  EXPECT_NE(R1.fingerprint(), Un.fingerprint());
+  EXPECT_LT(Sl.totalExecutions(), Un.totalExecutions());
+  EXPECT_LT(Sr.totalExecutions(), Sl.totalExecutions())
+      << "source sets did not beat sleep sets:\nsleep:\n"
+      << Sl.str() << "source:\n"
+      << Sr.str();
+  EXPECT_NE(Sl.fingerprint(), Un.fingerprint());
+  EXPECT_NE(Sr.fingerprint(), Sl.fingerprint());
 }
 
 //===----------------------------------------------------------------------===//
@@ -481,42 +590,44 @@ Explorer::Summary exploreWithEngine(Workload W, EnginePath E) {
 
 TEST(ReductionEngineAB, MsQueueCowEqualsRootReplayAcrossWorkersAndModes) {
   // The copy-on-write engine must be invisible to the reduction: summary
-  // cores (including SleepPruned) bit-identical to root replay under both
-  // reduction modes at 1/2/4 workers.
-  for (ReductionMode Red : {ReductionMode::None, ReductionMode::SleepSet})
+  // cores (including every reduction counter) bit-identical to root
+  // replay under all three reduction modes at 1/2/4 workers.
+  for (ReductionMode Red : {ReductionMode::None, ReductionMode::SleepSet,
+                            ReductionMode::SourceSet})
     for (unsigned Wk : {1u, 2u, 4u}) {
       Explorer::Summary Root = exploreWithEngine(msQueueWorkload(Wk, Red),
                                                  EnginePath::RootReplay);
       Explorer::Summary Cow =
           exploreWithEngine(msQueueWorkload(Wk, Red), EnginePath::Auto);
       EXPECT_GT(Cow.Perf.CowResumes, 0u)
-          << "red=" << (Red == ReductionMode::SleepSet ? "sleep" : "none")
-          << " workers=" << Wk << ": cow path never engaged";
+          << "red=" << modeName(Red) << " workers=" << Wk
+          << ": cow path never engaged";
       EXPECT_TRUE(Root.coreEquals(Cow))
-          << "red=" << (Red == ReductionMode::SleepSet ? "sleep" : "none")
-          << " workers=" << Wk << "\nroot: " << Root.str()
-          << "\ncow:  " << Cow.str();
+          << "red=" << modeName(Red) << " workers=" << Wk
+          << "\nroot: " << Root.str() << "\ncow:  " << Cow.str();
       expectReconciled(Cow, "MS queue cow A/B");
     }
 }
 
 TEST(ReductionEngineAB, ReducedMpViolationsIdenticalAcrossEngines) {
   // Violation-bearing workload: the reduced cow run surfaces the identical
-  // violation set and first violating trace as reduced root replay.
-  for (unsigned Wk : {1u, 2u, 4u}) {
-    Explorer::Summary Root = exploreWithEngine(
-        mpWorkload(Wk, MemOrder::Relaxed, MemOrder::Relaxed,
-                   ReductionMode::SleepSet),
-        EnginePath::RootReplay);
-    Explorer::Summary Cow = exploreWithEngine(
-        mpWorkload(Wk, MemOrder::Relaxed, MemOrder::Relaxed,
-                   ReductionMode::SleepSet),
-        EnginePath::Auto);
-    ASSERT_TRUE(Root.HasViolation);
-    EXPECT_TRUE(Root.coreEquals(Cow))
-        << "workers=" << Wk << "\nroot: " << Root.str()
-        << "\ncow:  " << Cow.str();
-    EXPECT_EQ(Root.firstViolationDecisions(), Cow.firstViolationDecisions())
-        << "workers=" << Wk;
-  }
+  // violation set and first violating trace as reduced root replay, under
+  // both reduction modes.
+  for (ReductionMode Red :
+       {ReductionMode::SleepSet, ReductionMode::SourceSet})
+    for (unsigned Wk : {1u, 2u, 4u}) {
+      Explorer::Summary Root = exploreWithEngine(
+          mpWorkload(Wk, MemOrder::Relaxed, MemOrder::Relaxed, Red),
+          EnginePath::RootReplay);
+      Explorer::Summary Cow = exploreWithEngine(
+          mpWorkload(Wk, MemOrder::Relaxed, MemOrder::Relaxed, Red),
+          EnginePath::Auto);
+      ASSERT_TRUE(Root.HasViolation) << modeName(Red);
+      EXPECT_TRUE(Root.coreEquals(Cow))
+          << modeName(Red) << " workers=" << Wk << "\nroot: " << Root.str()
+          << "\ncow:  " << Cow.str();
+      EXPECT_EQ(Root.firstViolationDecisions(),
+                Cow.firstViolationDecisions())
+          << modeName(Red) << " workers=" << Wk;
+    }
 }

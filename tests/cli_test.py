@@ -8,8 +8,10 @@ garbage); valid spellings are accepted. Invoked by ctest as
 `test_cli <path-to-compass_check>`.
 """
 
+import os
 import subprocess
 import sys
+import tempfile
 
 BIN = None
 failures = []
@@ -72,6 +74,15 @@ def main():
     expect_usage_error("bad mutation name", "mutants", "--mut",
                        "ebr_skip_grace")
     expect_usage_error("bad reduction", "sweep", "--reduction", "magic")
+    # Only the canonical lowercase spellings none|sleep|source are valid:
+    # near-misses must not be silently mapped to a mode.
+    expect_usage_error("reduction near-miss sleep-set", "sweep",
+                       "--reduction", "sleep-set")
+    expect_usage_error("reduction near-miss capitalized", "sweep",
+                       "--reduction", "Source")
+    expect_usage_error("bad engine", "sweep", "--engine", "cow")
+    expect_usage_error("engine near-miss capitalized", "sweep",
+                       "--engine", "Auto")
     p = run("sweep", "--resume", "/nonexistent/ckpt")
     check("missing resume file exits 2 with diagnostic",
           p.returncode == 2 and "cannot read" in p.stderr, p)
@@ -100,6 +111,45 @@ def main():
     p = run("sweep", "--seed", "3", "--per-lib", "1", "--max-execs", "2000",
             "--lib", "ms_queue", "--checkpoint-every", "900s")
     check("checkpoint-every seconds accepted", p.returncode == 0, p)
+
+    # --- reduction / engine mode spellings --------------------------------
+    for mode in ("none", "sleep", "source"):
+        p = run("sweep", "--seed", "3", "--per-lib", "1", "--workers", "1",
+                "--max-execs", "2000", "--lib", "ms_queue",
+                "--reduction", mode)
+        check(f"--reduction {mode} accepted", p.returncode == 0, p)
+        check(f"--reduction {mode} prints fingerprint",
+              "fingerprint" in p.stdout, p)
+
+    for engine in ("auto", "root"):
+        p = run("sweep", "--seed", "3", "--per-lib", "1", "--workers", "1",
+                "--max-execs", "2000", "--lib", "ms_queue",
+                "--engine", engine)
+        check(f"--engine {engine} accepted", p.returncode == 0, p)
+
+    # --- resume-mismatch contract -----------------------------------------
+    # A checkpoint's executed share is tied to the reduction mode and engine
+    # path that produced it. Produce a cadence checkpoint under explicit
+    # --reduction sleep / --engine auto, then resume with a contradicting
+    # mode: exit 2 with a diagnostic naming both modes. Resuming without
+    # the flags adopts the recorded modes and completes.
+    with tempfile.TemporaryDirectory() as td:
+        ckpt = os.path.join(td, "sweep.ckpt")
+        p = run("sweep", "--seed", "3", "--per-lib", "1", "--workers", "1",
+                "--max-execs", "2000", "--lib", "ms_queue",
+                "--reduction", "sleep", "--engine", "auto",
+                "--checkpoint", ckpt, "--checkpoint-every", "50")
+        check("checkpointed sweep runs", p.returncode == 0, p)
+        check("cadence checkpoint written", os.path.exists(ckpt), p)
+        if os.path.exists(ckpt):
+            p = run("sweep", "--resume", ckpt, "--reduction", "source")
+            check("resume reduction mismatch exits 2",
+                  p.returncode == 2 and "contradicts" in p.stderr, p)
+            p = run("sweep", "--resume", ckpt, "--engine", "root")
+            check("resume engine mismatch exits 2",
+                  p.returncode == 2 and "contradicts" in p.stderr, p)
+            p = run("sweep", "--resume", ckpt)
+            check("resume without mode flags completes", p.returncode == 0, p)
 
     if failures:
         print(f"\ncli_test FAILED: {len(failures)} check(s)")
